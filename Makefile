@@ -1,0 +1,34 @@
+# Convenience targets for the OraP reproduction
+
+PY ?= python
+
+.PHONY: install dev test bench experiments examples clean
+
+install:
+	pip install -e .
+
+dev:
+	pip install -e '.[dev]'
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# regenerate every paper artifact at default scale
+experiments:
+	$(PY) -m repro all
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/attack_demo.py
+	$(PY) examples/trojan_analysis.py
+	$(PY) examples/testability_study.py
+	$(PY) examples/design_space.py
+	$(PY) examples/oracle_less_attacks.py
+	$(PY) examples/tapeout_view.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks *.egg-info

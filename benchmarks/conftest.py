@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Benchmarks run each experiment harness once inside pytest-benchmark's
+timer (``rounds=1``: these are minutes-scale experiments, not microbench
+loops) and assert the paper's qualitative shape on the produced rows.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,63 @@
+"""Ablation benches — the design-choice sweeps DESIGN.md calls out.
+
+* LFSR taps/schedule vs threat-(d) XOR-tree payload (paper's rationale
+  for an LFSR with taps every 8 cells and varied free-run gaps);
+* WLL control width vs HD/area (the 3- vs 5-input decision);
+* scan placement vs threat-(b) MUX count (interleaving countermeasure).
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    print_placement_ablation,
+    print_tap_ablation,
+    print_wll_width_ablation,
+    run_placement_ablation,
+    run_tap_ablation,
+    run_wll_width_ablation,
+    xor_tree_cost,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_tap_ablation(once):
+    rows = once(run_tap_ablation, size=64)
+    print()
+    print_tap_ablation(rows)
+    by = {(r.tap_spacing, r.n_seeds, r.gap): r.xor_gates for r in rows}
+    # denser taps cost the attacker more, at fixed schedule
+    assert by[(4, 4, 2)] > by[(8, 4, 2)] > by[(16, 4, 2)] > by[(0, 4, 2)]
+    # more seeds cost more, at fixed structure
+    assert by[(8, 8, 3)] > by[(8, 4, 0)] > by[(8, 2, 0)]
+    # free-run gaps mix further
+    assert by[(8, 4, 2)] > by[(8, 4, 0)]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_wll_width_ablation(once):
+    rows = once(run_wll_width_ablation, key_width=24)
+    print()
+    print_wll_width_ablation(rows)
+    # all widths corrupt strongly; wider control gates need fewer gates
+    for r in rows:
+        assert r.hd_percent > 10.0
+    by = {r.control_width: r for r in rows}
+    assert by[5].n_key_gates < by[2].n_key_gates
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_placement_ablation(once):
+    rows = once(run_placement_ablation, seed=7)
+    print()
+    print_placement_ablation(rows)
+    by = {r.placement: r.n_bypass_muxes for r in rows}
+    assert by["interleaved"] > by["head"] >= by["clustered"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_xor_tree_cost_at_paper_size(once):
+    """At the paper's 128-bit key with taps every 8 cells and a seeds+gaps
+    schedule, the threat-(d) XOR trees alone cost hundreds of gates."""
+    gates, mean_size = once(xor_tree_cost, 128, 8, 4, 2)
+    assert gates > 300
+    assert mean_size > 3.0

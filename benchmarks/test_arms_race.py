@@ -1,0 +1,38 @@
+"""Benchmark E6 — the Sect. I arms race, replayed and asserted.
+
+Each historical scheme falls to the attack history used against it, and
+the oracle-less/structural column comes up empty against OraP+WLL.
+"""
+
+import pytest
+
+from repro.experiments import print_arms_race, run_arms_race
+
+
+@pytest.mark.benchmark(group="arms-race")
+def test_arms_race(once):
+    rows = once(run_arms_race, seed=9)
+    print()
+    print_arms_race(rows)
+    by = {(r.scheme, r.attack): r for r in rows}
+
+    # each era's scheme falls to its historical attack
+    assert by[("RLL", "sensitization")].broken
+    assert by[("RLL", "hillclimb")].broken
+    assert by[("FLL", "sat")].broken
+    assert not by[("SARLock", "sat (16 DIPs)")].broken  # SAT resistance
+    assert by[("SARLock", "appsat (approx)")].broken
+    assert by[("SARLock", "removal")].broken
+    assert by[("SARLock", "bypass")].broken
+    assert by[("Anti-SAT", "sps")].broken
+    assert by[("Anti-SAT", "removal")].broken
+    assert not by[("Cyclic", "sat")].completed  # cyclic resists plain SAT
+    assert by[("Cyclic", "cycsat")].broken
+    # SAIL: above-chance on synthesized RLL, chance on WLL
+    assert by[("RLL (synthesized)", "SAIL (oracle-less ML)")].broken
+    assert not by[("OraP+WLL", "SAIL (oracle-less ML)")].broken
+    assert by[("TTLock", "FALL (oracle-less)")].broken
+
+    # OraP + WLL: nothing that works without the oracle works here
+    for attack in ("FALL", "sps", "removal", "bypass"):
+        assert not by[("OraP+WLL", attack)].broken, attack

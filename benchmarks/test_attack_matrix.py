@@ -1,0 +1,39 @@
+"""Benchmark E3 — the Sect. II-A security analysis as a measured matrix.
+
+Every oracle-based attack runs twice over the real scan protocol: against
+the conventional chip (attack succeeds) and against the OraP chip (attack
+completes but recovers a wrong key).  Oracle-less structural attacks and
+the bypass attack are checked against the claims the paper makes for
+them.
+"""
+
+import pytest
+
+from repro.experiments import print_attack_matrix, run_attack_matrix
+
+ORACLE_ATTACKS = {"sat", "appsat", "doubledip", "hillclimb", "sensitization"}
+
+
+@pytest.mark.benchmark(group="attack-matrix")
+@pytest.mark.parametrize("variant", ["basic", "modified"])
+def test_attack_matrix(once, variant):
+    cells = once(run_attack_matrix, variant=variant, seed=7)
+    print()
+    print_attack_matrix(cells)
+    by = {(c.attack, c.chip): c for c in cells}
+
+    # conventional chip: every oracle-based attack recovers the key
+    for attack in ORACLE_ATTACKS:
+        cell = by[(attack, "conventional")]
+        assert cell.key_correct, f"{attack} should beat the open oracle"
+
+    # OraP chip: every oracle-based attack is thwarted
+    for attack in ORACLE_ATTACKS:
+        cell = by[(attack, "orap")]
+        assert not cell.key_correct, f"{attack} should be thwarted by OraP"
+
+    # oracle-less attacks do not unlock OraP+WLL
+    assert not by[("sps", "orap")].key_correct
+    assert not by[("removal", "orap")].key_correct
+    # bypass fails against WLL's corruptibility even with an open oracle
+    assert not by[("bypass", "conventional")].key_correct

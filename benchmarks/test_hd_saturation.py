@@ -1,0 +1,34 @@
+"""Benchmark E9 — the HD saturation curve behind Table I's key sizes.
+
+The paper grows the key until HD reaches 50% or saturates; this bench
+regenerates that curve and checks its shape: HD rises monotonically-ish
+with the key-gate count and flattens, and the stopping rule fires.
+"""
+
+import pytest
+
+from repro.experiments import print_hd_sweep, run_hd_sweep, saturation_point
+
+
+@pytest.mark.benchmark(group="hd-saturation")
+@pytest.mark.parametrize("circuit", ["b20", "s38417"])
+def test_hd_saturation_curve(once, circuit):
+    points = once(
+        run_hd_sweep,
+        circuit=circuit,
+        scale=0.02,
+        gate_counts=(1, 2, 4, 8, 16, 32),
+        n_patterns=2048,
+    )
+    print()
+    print_hd_sweep(points)
+    assert len(points) >= 4
+    # more key gates corrupt more (up to saturation): the last point beats
+    # the first by a wide margin
+    assert points[-1].hd_percent > points[0].hd_percent + 5.0
+    # the curve flattens: the final doubling gains less than the first
+    first_gain = points[1].hd_percent - points[0].hd_percent
+    last_gain = points[-1].hd_percent - points[-2].hd_percent
+    assert last_gain < max(first_gain, 10.0)
+    # and the paper's stopping rule fires somewhere on the sweep
+    assert saturation_point(points) is not None

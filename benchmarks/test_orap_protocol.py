@@ -1,0 +1,20 @@
+"""Benchmark E5 — cycle-accurate OraP protocol behaviour (Figs. 1–3).
+
+Runs the six protocol checks for both variants; all must pass, including
+the variant-dependent outcome of the flop-freeze attack.
+"""
+
+import pytest
+
+from repro.experiments import print_protocol, run_protocol_checks
+
+
+@pytest.mark.benchmark(group="protocol")
+@pytest.mark.parametrize("variant", ["basic", "modified"])
+def test_protocol_checks(once, variant):
+    checks = once(run_protocol_checks, variant=variant)
+    print()
+    print_protocol(checks)
+    assert len(checks) == 6
+    for check in checks:
+        assert check.passed, f"{check.name} [{variant}]: {check.detail}"

@@ -1,0 +1,28 @@
+"""Benchmark E8 — scale-stability of the substitution (DESIGN.md).
+
+Sweeps the stand-in scale over a 16x range and asserts the paper's
+overhead-reduction trend: relative overhead falls as the circuit grows,
+while HD stays in the target band at every scale.
+"""
+
+import pytest
+
+from repro.experiments import print_scaling, run_scaling_study
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_trend(once):
+    rows = once(
+        run_scaling_study,
+        circuit="b20",
+        scales=(0.005, 0.02, 0.08),
+        n_patterns=2048,
+    )
+    print()
+    print_scaling(rows)
+    assert [r.scale for r in rows] == [0.005, 0.02, 0.08]
+    for r in rows:
+        assert 20.0 <= r.hd_percent <= 55.0
+    # the paper's trend: overhead shrinks as circuits grow
+    assert rows[-1].area_overhead_percent < rows[0].area_overhead_percent
+    assert rows[-1].n_gates > 8 * rows[0].n_gates

@@ -1,0 +1,116 @@
+"""Benchmark E7 — the cost OraP imposes on a determined attacker.
+
+OraP removes the scan oracle; what remains is functional (PI/PO) access,
+attackable only by sequential unrolling.  This bench runs both attacks on
+the same protected design and contrasts the cost profile: the scan-based
+SAT attack (against the conventional chip) needs a handful of one-cycle
+scan transactions; the sequential attack needs multi-cycle reset+unlock
+sessions and an unrolled formula an order of magnitude larger — and it is
+the only one of the two that still works against the OraP chip.
+"""
+
+import time
+
+import pytest
+
+from repro.attacks import (
+    FunctionalOracle,
+    SATAttackConfig,
+    ScanOracle,
+    SequentialSATConfig,
+    key_is_correct,
+    sat_attack,
+    sequential_sat_attack,
+)
+from repro.bench import GeneratorConfig, SequentialConfig, generate_sequential
+from repro.locking import WLLConfig
+from repro.orap import OraPConfig, protect
+
+
+@pytest.fixture(scope="module")
+def design():
+    seq = generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=8, n_outputs=10, n_gates=70, depth=5, seed=16,
+                name="tax",
+            ),
+            n_flops=5,
+        )
+    )
+    return protect(
+        seq,
+        orap=OraPConfig(variant="basic"),
+        wll=WLLConfig(key_width=6, control_width=3, n_key_gates=3),
+        rng=5,
+    )
+
+
+@pytest.mark.benchmark(group="orap-tax")
+def test_scan_attack_vs_sequential_attack(once, design):
+    locked = design.locked
+
+    def both():
+        results = {}
+        # scan-based SAT attack against the conventional chip
+        base = design.baseline_chip()
+        base.reset()
+        base.unlock()
+        t0 = time.perf_counter()
+        scan_oracle = ScanOracle(base)
+        r_scan = sat_attack(
+            locked.locked, locked.key_inputs, scan_oracle,
+            SATAttackConfig(max_iterations=64),
+        )
+        results["scan"] = (
+            r_scan, scan_oracle.n_queries, time.perf_counter() - t0
+        )
+        # scan-based attack against OraP: wrong key (oracle gone)
+        prot = design.build_chip()
+        prot.reset()
+        prot.unlock()
+        r_orap = sat_attack(
+            locked.locked, locked.key_inputs, ScanOracle(prot),
+            SATAttackConfig(max_iterations=64),
+        )
+        results["scan_vs_orap"] = r_orap
+        # sequential attack: still works, at multi-cycle session cost
+        func_oracle = FunctionalOracle(design.build_chip())
+        t0 = time.perf_counter()
+        r_seq = sequential_sat_attack(
+            design.design, locked.key_inputs, func_oracle,
+            SequentialSATConfig(depth=4, max_iterations=48,
+                                verify_sequences=4),
+        )
+        results["sequential"] = (
+            r_seq, func_oracle.n_queries, time.perf_counter() - t0
+        )
+        return results
+
+    results = once(both)
+    r_scan, scan_q, scan_t = results["scan"]
+    r_seq, seq_q, seq_t = results["sequential"]
+    r_orap = results["scan_vs_orap"]
+
+    print(
+        f"\nscan SAT attack (conventional chip): key correct="
+        f"{key_is_correct(locked, r_scan.recovered_key)}, "
+        f"{r_scan.iterations} DIPs, {scan_q} scan transactions, {scan_t:.1f}s"
+    )
+    print(
+        "scan SAT attack (OraP chip):         key correct="
+        f"{key_is_correct(locked, r_orap.recovered_key)} (thwarted)"
+    )
+    print(
+        f"sequential attack (OraP chip):       key correct="
+        f"{key_is_correct(locked, r_seq.recovered_key)}, "
+        f"{r_seq.iterations} DISes, {seq_q} full unlock sessions, {seq_t:.1f}s"
+    )
+
+    assert key_is_correct(locked, r_scan.recovered_key)
+    assert not key_is_correct(locked, r_orap.recovered_key)
+    assert key_is_correct(locked, r_seq.recovered_key)
+    # the OraP tax: the surviving attack pays in wall clock — each of its
+    # queries is a full reset+unlock+multi-cycle session instead of one
+    # scan transaction, and the unrolled instance dwarfs the scan one
+    assert seq_t > scan_t

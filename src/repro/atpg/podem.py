@@ -1,0 +1,310 @@
+"""PODEM test-pattern generator (Atalanta-class role).
+
+Classic PODEM: decisions only on primary inputs, objectives derived from
+fault activation and D-frontier propagation, backtrace through X-valued
+nets, backtracking with an abort limit.  Values are twin three-valued
+pairs (good, faulty) with the fault injected into the faulty component —
+equivalent to the D-calculus but simpler to evaluate.
+
+Outcomes per fault: DETECTED (with a test pattern), REDUNDANT (search
+space exhausted — no test exists), ABORTED (backtrack limit hit).  The
+paper's Table II reports fault coverage plus the redundant+aborted count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..netlist import GateType, Netlist, controlling_value
+from .faults import Fault
+
+X = None  # three-valued unknown
+
+
+class TestOutcome(enum.Enum):
+    """Classification of one ATPG attempt."""
+    DETECTED = "detected"
+    REDUNDANT = "redundant"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TestResult:
+    """Outcome of generating a test for one fault."""
+    outcome: TestOutcome
+    pattern: dict[str, int] | None
+    backtracks: int
+
+
+def _eval3(gtype: GateType, vals: list[int | None]) -> int | None:
+    """Three-valued gate evaluation."""
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype is GateType.BUF:
+        return vals[0]
+    if gtype is GateType.NOT:
+        return None if vals[0] is X else 1 - vals[0]
+    if gtype in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in vals):
+            out: int | None = 0
+        elif all(v == 1 for v in vals):
+            out = 1
+        else:
+            out = X
+        if out is X:
+            return X
+        return 1 - out if gtype is GateType.NAND else out
+    if gtype in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in vals):
+            out = 1
+        elif all(v == 0 for v in vals):
+            out = 0
+        else:
+            out = X
+        if out is X:
+            return X
+        return 1 - out if gtype is GateType.NOR else out
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if any(v is X for v in vals):
+            return X
+        acc = 0
+        for v in vals:
+            acc ^= v
+        return 1 - acc if gtype is GateType.XNOR else acc
+    if gtype is GateType.MUX:
+        s, d0, d1 = vals
+        if s == 0:
+            return d0
+        if s == 1:
+            return d1
+        if d0 is not X and d0 == d1:
+            return d0
+        return X
+    raise AssertionError(gtype)  # pragma: no cover
+
+
+class PODEM:
+    """PODEM engine bound to one netlist."""
+
+    def __init__(self, netlist: Netlist, max_backtracks: int = 100) -> None:
+        self.netlist = netlist
+        self.max_backtracks = max_backtracks
+        self._topo = netlist.topological_order()
+        self._fanout = netlist.fanout_map()
+        self._pis = list(netlist.inputs)
+        self._po_set = set(netlist.outputs)
+        # static observability ordering for D-frontier choice
+        from ..netlist import observability_depths
+
+        self._obs = observability_depths(netlist)
+
+    # ------------------------------------------------------------------ #
+    def _imply(
+        self, fault: Fault, assignment: dict[str, int]
+    ) -> tuple[dict[str, int | None], dict[str, int | None]]:
+        """Forward twin-valued simulation with the fault injected."""
+        good: dict[str, int | None] = {}
+        faulty: dict[str, int | None] = {}
+        for net in self._topo:
+            g = self.netlist.gate(net)
+            if g.gtype is GateType.INPUT:
+                v = assignment.get(net, X)
+                good[net] = v
+                fv = v
+            else:
+                gvals = [good[f] for f in g.fanin]
+                fvals = [faulty[f] for f in g.fanin]
+                if fault.pin is not None and net == fault.gate:
+                    fvals = list(fvals)
+                    fvals[fault.pin] = fault.stuck_at
+                good[net] = _eval3(g.gtype, gvals)
+                fv = _eval3(g.gtype, fvals)
+            if fault.pin is None and net == fault.gate:
+                fv = fault.stuck_at
+            faulty[net] = fv
+        return good, faulty
+
+    def _detected(
+        self, good: dict[str, int | None], faulty: dict[str, int | None]
+    ) -> bool:
+        return any(
+            good[o] is not X and faulty[o] is not X and good[o] != faulty[o]
+            for o in self._po_set
+        )
+
+    def _d_frontier(
+        self,
+        fault: Fault,
+        good: dict[str, int | None],
+        faulty: dict[str, int | None],
+    ) -> list[str]:
+        frontier = []
+        for net in self._topo:
+            g = self.netlist.gate(net)
+            if g.gtype.is_source:
+                continue
+            if good[net] is not X and faulty[net] is not X:
+                continue
+            for f in g.fanin:
+                if good[f] is not X and faulty[f] is not X and good[f] != faulty[f]:
+                    frontier.append(net)
+                    break
+        # a pin fault's D sits on the pin itself, invisible in net values:
+        # the faulty gate is frontier whenever the fault is activated and
+        # its output is still X
+        if fault.pin is not None and fault.gate not in frontier:
+            site = fault.site_net(self.netlist)
+            activated = good[site] is not X and good[site] != fault.stuck_at
+            out_x = good[fault.gate] is X or faulty[fault.gate] is X
+            if activated and out_x:
+                frontier.append(fault.gate)
+        frontier.sort(key=lambda n: self._obs.get(n, 1 << 30))
+        return frontier
+
+    def _x_path_exists(
+        self,
+        start: str,
+        good: dict[str, int | None],
+        faulty: dict[str, int | None],
+    ) -> bool:
+        """Is there a path of potentially-D nets from ``start`` to a PO?
+
+        A net can still carry the fault effect if either component is X.
+        """
+        stack = [start]
+        seen = set()
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            if net in self._po_set:
+                return True
+            for succ in self._fanout[net]:
+                if good[succ] is X or faulty[succ] is X:
+                    stack.append(succ)
+        return False
+
+    def _backtrace(
+        self, net: str, value: int, good: dict[str, int | None]
+    ) -> tuple[str, int] | None:
+        """Walk from an objective to an unassigned PI."""
+        cur, v = net, value
+        for _ in range(len(self._topo) + 1):
+            g = self.netlist.gate(cur)
+            if g.gtype is GateType.INPUT:
+                return cur, v
+            if g.gtype in (GateType.CONST0, GateType.CONST1):
+                return None
+            if g.gtype is GateType.BUF:
+                cur = g.fanin[0]
+                continue
+            if g.gtype is GateType.NOT:
+                cur, v = g.fanin[0], 1 - v
+                continue
+            x_inputs = [f for f in g.fanin if good[f] is X]
+            if not x_inputs:
+                return None
+            if g.gtype in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+                inverted = g.gtype in (GateType.NAND, GateType.NOR)
+                base_v = 1 - v if inverted else v
+                c = controlling_value(g.gtype)
+                assert c is not None
+                produced_by_controlling = (
+                    0 if g.gtype in (GateType.AND, GateType.NAND) else 1
+                )
+                if base_v == produced_by_controlling:
+                    # one controlling input suffices: take the easiest X
+                    cur, v = x_inputs[0], c
+                else:
+                    # all inputs must be non-controlling
+                    cur, v = x_inputs[0], 1 - c
+                continue
+            if g.gtype in (GateType.XOR, GateType.XNOR):
+                known = [good[f] for f in g.fanin if good[f] is not X]
+                target = v
+                if g.gtype is GateType.XNOR:
+                    target = 1 - target
+                acc = 0
+                for k in known:
+                    acc ^= k
+                # if exactly one X input, its value is forced; otherwise
+                # aim the first X input at the residual parity
+                cur, v = x_inputs[0], target ^ acc
+                continue
+            if g.gtype is GateType.MUX:
+                s, d0, d1 = g.fanin
+                if good[s] is X:
+                    cur, v = s, 0
+                elif good[s] == 0:
+                    cur, v = d0, v
+                else:
+                    cur, v = d1, v
+                continue
+            raise AssertionError(g.gtype)  # pragma: no cover
+        return None
+
+    def _objective(
+        self,
+        fault: Fault,
+        good: dict[str, int | None],
+        faulty: dict[str, int | None],
+    ) -> tuple[str, int] | None:
+        """Next (net, value) objective, or None when the search must fail."""
+        site = fault.site_net(self.netlist)
+        activation = good[site]
+        if activation is X:
+            return site, 1 - fault.stuck_at
+        if activation == fault.stuck_at:
+            return None  # activation impossible under current assignment
+        # activated: advance the D-frontier
+        frontier = self._d_frontier(fault, good, faulty)
+        for gate_name in frontier:
+            if not self._x_path_exists(gate_name, good, faulty):
+                continue
+            g = self.netlist.gate(gate_name)
+            c = controlling_value(g.gtype)
+            for f in g.fanin:
+                if good[f] is X:
+                    want = 1 - c if c is not None else 0
+                    return f, want
+        return None
+
+    # ------------------------------------------------------------------ #
+    def generate(self, fault: Fault) -> TestResult:
+        """Generate a test for one fault."""
+        assignment: dict[str, int] = {}
+        stack: list[list] = []  # [pi, value, tried_both]
+        backtracks = 0
+        while True:
+            good, faulty = self._imply(fault, assignment)
+            if self._detected(good, faulty):
+                pattern = {pi: assignment.get(pi, 0) for pi in self._pis}
+                return TestResult(TestOutcome.DETECTED, pattern, backtracks)
+            objective = self._objective(fault, good, faulty)
+            advance = None
+            if objective is not None:
+                advance = self._backtrace(*objective, good)
+            if advance is not None:
+                pi, v = advance
+                assignment[pi] = v
+                stack.append([pi, v, False])
+                continue
+            # dead end: backtrack to the last untried decision
+            resumed = False
+            while stack:
+                pi, v, tried = stack.pop()
+                if not tried:
+                    backtracks += 1
+                    if backtracks > self.max_backtracks:
+                        return TestResult(TestOutcome.ABORTED, None, backtracks)
+                    assignment[pi] = 1 - v
+                    stack.append([pi, 1 - v, True])
+                    resumed = True
+                    break
+                del assignment[pi]
+            if not resumed:
+                return TestResult(TestOutcome.REDUNDANT, None, backtracks)

@@ -1,0 +1,88 @@
+"""SAT-based exact test generation / redundancy proof.
+
+Structural fault injection plus a miter gives an exact answer for any
+single stuck-at fault: the fault is testable iff the faulty copy is *not*
+equivalent to the good copy, and the SAT counterexample is a test pattern.
+Used by the ATPG engine to arbitrate PODEM's REDUNDANT/ABORTED outcomes —
+the classification Table II reports must be exact.
+"""
+
+from __future__ import annotations
+
+from ..netlist import GateType, Netlist
+from ..sat import CNF, CircuitEncoder, Solver
+from ..sat.solver import BudgetExhausted
+from .faults import Fault
+from .podem import TestOutcome, TestResult
+
+
+def inject_fault(netlist: Netlist, fault: Fault) -> Netlist:
+    """Return a copy of the netlist with the fault structurally applied."""
+    faulty = netlist.copy(f"{netlist.name}_faulty")
+    const = GateType.CONST1 if fault.stuck_at else GateType.CONST0
+    if fault.pin is None:
+        g = faulty.gate(fault.gate)
+        if g.gtype is GateType.INPUT:
+            # stuck input pin of the whole circuit: keep the input net as an
+            # interface pin but drive consumers from a stuck alias
+            alias = faulty.fresh_name(f"{fault.gate}_stuck_")
+            faulty.add_gate(alias, const, ())
+            for other in list(faulty.gates()):
+                if other.name == alias:
+                    continue
+                if fault.gate in other.fanin:
+                    faulty.replace_gate(
+                        other.name,
+                        other.gtype,
+                        tuple(
+                            alias if f == fault.gate else f for f in other.fanin
+                        ),
+                    )
+            faulty.set_outputs(
+                [alias if o == fault.gate else o for o in faulty.outputs]
+            )
+        else:
+            faulty.replace_gate(fault.gate, const, ())
+    else:
+        g = faulty.gate(fault.gate)
+        stuck_net = faulty.fresh_name(f"{fault.gate}_pin{fault.pin}_stuck_")
+        faulty.add_gate(stuck_net, const, ())
+        fanin = list(g.fanin)
+        fanin[fault.pin] = stuck_net
+        faulty.replace_gate(fault.gate, g.gtype, tuple(fanin))
+    return faulty
+
+
+def sat_generate(
+    netlist: Netlist, fault: Fault, conflict_budget: int | None = 3000
+) -> TestResult:
+    """Exact single-fault test generation via SAT.
+
+    Returns DETECTED with a pattern, REDUNDANT on UNSAT, or ABORTED when
+    the conflict budget runs out.
+    """
+    faulty = inject_fault(netlist, fault)
+    cnf = CNF()
+    in_vars = {name: cnf.new_var() for name in netlist.inputs}
+    enc_good = CircuitEncoder(netlist, cnf=cnf, share=dict(in_vars))
+    enc_bad = CircuitEncoder(faulty, cnf=cnf, share=dict(in_vars))
+    diffs = []
+    for o in netlist.outputs:
+        va, vb = enc_good.var(o), enc_bad.var(o)
+        d = cnf.new_var()
+        cnf.add_clause([-d, va, vb])
+        cnf.add_clause([-d, -va, -vb])
+        cnf.add_clause([d, -va, vb])
+        cnf.add_clause([d, va, -vb])
+        diffs.append(d)
+    cnf.add_clause(diffs)
+    solver = Solver(cnf)
+    try:
+        res = solver.solve(conflict_budget=conflict_budget)
+    except BudgetExhausted:
+        return TestResult(TestOutcome.ABORTED, None, 0)
+    if not res.sat:
+        return TestResult(TestOutcome.REDUNDANT, None, 0)
+    assert res.model is not None
+    pattern = {name: int(res.model[v]) for name, v in in_vars.items()}
+    return TestResult(TestOutcome.DETECTED, pattern, 0)

@@ -1,0 +1,183 @@
+"""Scan test-program generation and application through the chip model.
+
+Table II's flow stops at ATPG statistics; this module closes the loop the
+paper describes operationally: the protected chip is *tested locked* —
+the tester scans each ATPG pattern into the chains (functional flops AND
+the key-register cells, which OraP deliberately keeps scannable), pulses
+one capture clock, and compares the scanned-out response against the
+expected value computed from the locked netlist.
+
+Because every expected response is derived from the locked circuit, the
+published test data never acts as an oracle — the property the paper's
+hill-climbing discussion relies on — while manufacturing defects still
+show up as signature mismatches (demonstrated by the fault-injection
+check in :func:`apply_test_program`'s tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..netlist import Netlist
+from ..orap.chip import ProtectedChip
+from ..orap.scheme import OraPDesign
+from .engine import run_atpg
+from .faults import Fault
+
+
+@dataclass(frozen=True)
+class ScanTestVector:
+    """One scan test: load values, PI values, expected observations."""
+
+    load_state: dict[str, int]  # flop name / "kr<i>" -> bit
+    pi_values: dict[str, int]
+    expected_po: dict[str, int]
+    expected_capture: dict[str, int]  # flop name -> captured bit
+
+
+@dataclass
+class ScanTestProgram:
+    """An ordered scan test set for one protected design."""
+
+    vectors: list[ScanTestVector] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+
+@dataclass
+class TestApplicationReport:
+    """Outcome of applying a program to a chip."""
+
+    n_vectors: int
+    n_failing: int
+    first_failure: int | None
+
+    @property
+    def passed(self) -> bool:
+        """True when no vector failed."""
+        return self.n_failing == 0
+
+
+def build_test_program(
+    design: OraPDesign,
+    patterns: Sequence[Mapping[str, int]] | None = None,
+    n_random_patterns: int = 512,
+    seed: int = 0,
+) -> ScanTestProgram:
+    """Generate a scan test program for a protected design.
+
+    Args:
+        design: the OraP design (the locked core defines expectations).
+        patterns: core-input assignments to use; when omitted, the full
+            ATPG flow runs on the locked core and its kept deterministic
+            patterns plus a random block are used.
+
+    Expected responses are computed from the *locked* core with the key
+    inputs set to the pattern's key-cell values — the tested-locked
+    semantics (the cleared register holds whatever the tester shifts in).
+    """
+    core = design.locked.locked
+    key_inputs = design.locked.key_inputs
+    flops = design.design.flops
+    q_of = {ff.q: ff for ff in flops}
+    chip_pis = [
+        p
+        for p in design.design.primary_inputs
+        if p not in set(key_inputs)
+    ]
+
+    if patterns is None:
+        report = run_atpg(
+            core,
+            n_random_patterns=n_random_patterns,
+            seed=seed,
+            collect_patterns=True,
+        )
+        patterns = list(report.patterns)
+        # top up with a deterministic pseudorandom block (the bulk of real
+        # test sets; they detect the easy faults)
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(32):
+            patterns.append({i: rng.randrange(2) for i in core.inputs})
+
+    program = ScanTestProgram()
+    for pattern in patterns:
+        load: dict[str, int] = {}
+        pis: dict[str, int] = {}
+        assignment: dict[str, int] = {}
+        for name in core.inputs:
+            bit = int(bool(pattern.get(name, 0)))
+            assignment[name] = bit
+            if name in q_of:
+                load[q_of[name].name] = bit
+            elif name in set(key_inputs):
+                load[f"kr{key_inputs.index(name)}"] = bit
+            else:
+                pis[name] = bit
+        values = core.evaluate(assignment)
+        program.vectors.append(
+            ScanTestVector(
+                load_state=load,
+                pi_values=pis,
+                expected_po={o: values[o] for o in design.design.primary_outputs},
+                expected_capture={ff.name: values[ff.d] for ff in flops},
+            )
+        )
+    return program
+
+
+def apply_test_program(
+    chip: ProtectedChip, program: ScanTestProgram
+) -> TestApplicationReport:
+    """Run the program through the chip's actual scan protocol."""
+    n_failing = 0
+    first_failure: int | None = None
+    chip.enter_scan_mode()
+    for idx, vec in enumerate(program.vectors):
+        chip.scan_load(vec.load_state)
+        chip.scan_capture(vec.pi_values)
+        observed = chip.scan_unload()
+        po = chip._last_capture_outputs
+        ok = all(po[o] == b for o, b in vec.expected_po.items()) and all(
+            observed[name] == b for name, b in vec.expected_capture.items()
+        )
+        if not ok:
+            n_failing += 1
+            if first_failure is None:
+                first_failure = idx
+    chip.leave_scan_mode()
+    return TestApplicationReport(
+        n_vectors=len(program.vectors),
+        n_failing=n_failing,
+        first_failure=first_failure,
+    )
+
+
+def chip_with_defect(design: OraPDesign, fault: Fault) -> ProtectedChip:
+    """A chip whose locked core carries a manufacturing defect.
+
+    Used to show the locked test program still screens defective parts:
+    the stuck-at fault is applied structurally to the core and a fresh
+    chip is assembled around it.
+    """
+    import dataclasses
+
+    from .sattest import inject_fault
+
+    faulty_core = inject_fault(design.locked.locked, fault)
+    locked = dataclasses.replace(design.locked, locked=faulty_core)
+    from ..netlist import SequentialCircuit
+
+    seq = SequentialCircuit(faulty_core, name=f"{design.design.name}_defect")
+    for ff in design.design.flops:
+        seq.add_flop(ff)
+    seq.build_scan_chains(
+        len(design.design.scan_chains),
+        order=[c for chain in design.design.scan_chains for c in chain.cells],
+    )
+    faulty_design = dataclasses.replace(design, design=seq, locked=locked)
+    return faulty_design.build_chip(protected=True)

@@ -1,0 +1,237 @@
+"""Bypass attack (Xu et al. [12]).
+
+Against point-function schemes (SARLock/Anti-SAT) almost every key is
+correct on almost every input.  The bypass attack therefore:
+
+1. picks a random wrong key ``K'``;
+2. SAT-enumerates the input patterns on which two wrong-keyed copies
+   disagree (these contain the error points of ``K'``);
+3. queries the oracle on each such pattern;
+4. wraps the ``K'``-keyed circuit with a *bypass unit* — a comparator per
+   error pattern that overrides the outputs with the recorded correct
+   values.
+
+Success requires the error-point count to be tiny (it is 1 per key for
+SARLock); against high-corruptibility locking such as WLL the enumeration
+explodes past the budget and the attack gives up — which is why OraP can
+afford a high-corruptibility partner scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..netlist import GateType, Netlist
+from ..sat import CNF, CircuitEncoder, Solver
+from .oracle import Oracle
+from .result import AttackResult
+
+
+@dataclass
+class BypassConfig:
+    """Knobs for :func:`bypass_attack`."""
+    max_error_points: int = 32
+    seed: int = 0
+
+
+def enumerate_disagreements(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    key_a: Mapping[str, int],
+    key_b: Mapping[str, int],
+    limit: int,
+) -> list[dict[str, int]] | None:
+    """All inputs where two fixed-key copies differ (None if > limit)."""
+    key_set = set(key_inputs)
+    data_inputs = [i for i in locked.inputs if i not in key_set]
+    cnf = CNF()
+    x_vars = {name: cnf.new_var() for name in data_inputs}
+    ka = {name: cnf.new_var() for name in key_inputs}
+    kb = {name: cnf.new_var() for name in key_inputs}
+    for name in key_inputs:
+        cnf.add_clause([ka[name]] if key_a[name] else [-ka[name]])
+        cnf.add_clause([kb[name]] if key_b[name] else [-kb[name]])
+    enc_a = CircuitEncoder(locked, cnf=cnf, share={**x_vars, **ka})
+    enc_b = CircuitEncoder(locked, cnf=cnf, share={**x_vars, **kb})
+    diffs = []
+    for o in locked.outputs:
+        va, vb = enc_a.var(o), enc_b.var(o)
+        d = cnf.new_var()
+        cnf.add_clause([-d, va, vb])
+        cnf.add_clause([-d, -va, -vb])
+        cnf.add_clause([d, -va, vb])
+        cnf.add_clause([d, va, -vb])
+        diffs.append(d)
+    cnf.add_clause(diffs)
+    # simulation helpers for cube expansion
+    def disagrees(pattern: Mapping[str, int]) -> bool:
+        asg_a = {**pattern, **key_a}
+        asg_b = {**pattern, **key_b}
+        return locked.evaluate_outputs(asg_a) != locked.evaluate_outputs(asg_b)
+
+    solver = Solver(cnf)
+    cubes: list[dict[str, int]] = []
+    while True:
+        res = solver.solve()
+        if not res.sat:
+            return cubes
+        assert res.model is not None
+        pattern = {i: int(res.model[x_vars[i]]) for i in data_inputs}
+        # expand to a cube: inputs whose flip preserves the disagreement are
+        # don't-cares (point-function blocks compare only a subset of
+        # inputs, so each error "point" is really a cube over the rest)
+        cube = dict(pattern)
+        for name in data_inputs:
+            flipped = dict(pattern)
+            flipped[name] ^= 1
+            if disagrees(flipped):
+                del cube[name]
+        cubes.append(cube)
+        if len(cubes) > limit:
+            return None
+        # block the whole cube
+        solver.add_clause(
+            [(-x_vars[i] if bit else x_vars[i]) for i, bit in cube.items()]
+        )
+
+
+def build_bypassed_netlist(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    chosen_key: Mapping[str, int],
+    fixes: Sequence[tuple[Mapping[str, int], Sequence[str]]],
+) -> Netlist:
+    """Hardwire ``chosen_key`` and add comparator bypass units.
+
+    Each fix is ``(cube, outputs_to_flip)``: when the cube matches, the
+    listed outputs are inverted (a point-function error is a constant flip
+    across its cube, so XOR-ing the match signal restores correctness for
+    every don't-care assignment).
+    """
+    out = locked.copy(f"{locked.name}_bypass")
+    for k in key_inputs:
+        out.replace_gate(
+            k, GateType.CONST1 if chosen_key[k] else GateType.CONST0, ()
+        )
+    for fi, (cube, flip_outputs) in enumerate(fixes):
+        terms: list[str] = []
+        for i, (name, bit) in enumerate(sorted(cube.items())):
+            t = out.fresh_name(f"byp{fi}_t{i}_")
+            out.add_gate(t, GateType.BUF if bit else GateType.NOT, (name,))
+            terms.append(t)
+        if len(terms) == 1:
+            match = terms[0]
+        else:
+            match = out.fresh_name(f"byp{fi}_match_")
+            out.add_gate(match, GateType.AND, tuple(terms))
+        for o in flip_outputs:
+            moved = out.fresh_name(f"{o}_pre_byp{fi}_")
+            g = out.gate(o)
+            out.add_gate(moved, g.gtype, g.fanin)
+            out.replace_gate(o, GateType.XOR, (moved, match))
+    return out
+
+
+def bypass_attack(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    oracle: Oracle,
+    config: BypassConfig | None = None,
+) -> AttackResult:
+    """Run the bypass attack; reconstructed netlist in ``notes["netlist"]``."""
+    config = config or BypassConfig()
+    rng = random.Random(config.seed)
+    start_queries = getattr(oracle, "n_queries", 0)
+    key_a = {k: rng.randrange(2) for k in key_inputs}
+    key_b = dict(key_a)
+    flip = rng.choice(list(key_inputs))
+    key_b[flip] ^= 1
+
+    # feasibility probe: a bypass unit needs the chosen key to be wrong on
+    # a vanishing fraction of inputs (true for point-function locking,
+    # false for high-corruptibility schemes like WLL)
+    key_set0 = set(key_inputs)
+    data_inputs0 = [i for i in locked.inputs if i not in key_set0]
+    err_samples = 0
+    n_probe = 48
+    for _ in range(n_probe):
+        pattern = {i: rng.randrange(2) for i in data_inputs0}
+        raw = oracle.query(pattern)
+        got = locked.evaluate_outputs({**pattern, **key_a})
+        if any(got[o] != int(bool(raw[o])) for o in locked.outputs):
+            err_samples += 1
+    if err_samples / n_probe > 0.05:
+        return AttackResult(
+            attack="bypass",
+            recovered_key=None,
+            completed=False,
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+            notes={
+                "reason": "error rate too high for a bypass unit",
+                "sampled_error_rate": err_samples / n_probe,
+            },
+        )
+
+    points = enumerate_disagreements(
+        locked, key_inputs, key_a, key_b, config.max_error_points
+    )
+    if points is None:
+        return AttackResult(
+            attack="bypass",
+            recovered_key=None,
+            completed=False,
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+            notes={
+                "reason": f"more than {config.max_error_points} disagreement "
+                "points — corruptibility too high for a bypass unit"
+            },
+        )
+    key_set = set(key_inputs)
+    data_inputs = [i for i in locked.inputs if i not in key_set]
+
+    def errs(pattern: Mapping[str, int]) -> list[str]:
+        """Outputs where locked(key_a) disagrees with the oracle."""
+        raw = oracle.query(pattern)
+        got = locked.evaluate_outputs({**pattern, **key_a})
+        return [o for o in locked.outputs if got[o] != int(bool(raw[o]))]
+
+    fixes: list[tuple[dict[str, int], list[str]]] = []
+    for cube in points:
+        # representative pattern: don't-cares at 0
+        pattern = {i: int(bool(cube.get(i, 0))) for i in data_inputs}
+        flip_outputs = errs(pattern)
+        if not flip_outputs:
+            # the representative may sit in key_b's error region while
+            # key_a's lies across one of the cube's don't-care bits
+            for name in data_inputs:
+                if name in cube:
+                    continue
+                probe = dict(pattern)
+                probe[name] ^= 1
+                flip_outputs = errs(probe)
+                if flip_outputs:
+                    pattern = probe
+                    break
+        if not flip_outputs:
+            continue  # this disagreement cube was key_b's error only
+        # re-expand the cube against the *oracle* (the Ka-vs-Kb cube may
+        # merge both keys' error regions): an input is a don't-care only
+        # if flipping it leaves the same outputs wrong
+        fix_cube: dict[str, int] = {}
+        for name in data_inputs:
+            flipped = dict(pattern)
+            flipped[name] ^= 1
+            if errs(flipped) != flip_outputs:
+                fix_cube[name] = pattern[name]
+        fixes.append((fix_cube, flip_outputs))
+    rebuilt = build_bypassed_netlist(locked, key_inputs, key_a, fixes)
+    return AttackResult(
+        attack="bypass",
+        recovered_key=None,
+        completed=True,
+        iterations=len(points),
+        oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        notes={"netlist": rebuilt, "n_error_points": len(points)},
+    )

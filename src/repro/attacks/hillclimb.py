@@ -1,0 +1,156 @@
+"""Hill-climbing attack (Plaza & Markov [4]).
+
+A local-search key recovery: start from a random key, evaluate the number
+of output mismatches against oracle responses on a pattern set, and accept
+single-bit key flips that do not increase the mismatch count.  Restarts
+escape local minima.  As the paper notes, the pattern set can come either
+from live oracle queries or from the *test responses* the designer
+publishes for manufacturing test — under OraP the chip is tested locked,
+so published responses describe the locked circuit and the climb converges
+to the wrong key (reproduced in the attack-matrix experiment).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..netlist import Netlist
+from ..sim import BitSimulator, broadcast_constant, pack_patterns, popcount_words, tail_mask
+from .oracle import Oracle
+from .result import AttackResult
+
+
+@dataclass
+class HillClimbConfig:
+    """Knobs for :func:`hill_climb_attack`."""
+    n_patterns: int = 128
+    max_flips: int = 4000
+    restarts: int = 4
+    #: also try two-bit moves when single-bit flips stall — multi-input
+    #: control gates (WLL) create single-flip plateaus
+    pair_flips: bool = True
+    seed: int = 0
+
+
+def hill_climb_attack(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    oracle: Oracle,
+    config: HillClimbConfig | None = None,
+    test_set: Sequence[tuple[Mapping[str, int], Mapping[str, int]]] | None = None,
+) -> AttackResult:
+    """Run the hill-climbing attack.
+
+    Args:
+        test_set: optional pre-recorded (input, response) pairs (the
+            "known test responses" variant); live oracle queries are used
+            when omitted.
+    """
+    config = config or HillClimbConfig()
+    rng = random.Random(config.seed)
+    key_set = set(key_inputs)
+    data_inputs = [i for i in locked.inputs if i not in key_set]
+    start_queries = getattr(oracle, "n_queries", 0)
+
+    # gather the evaluation pattern set
+    if test_set is None:
+        pairs: list[tuple[dict[str, int], dict[str, int]]] = []
+        for _ in range(config.n_patterns):
+            pattern = {i: rng.randrange(2) for i in data_inputs}
+            raw = oracle.query(pattern)
+            pairs.append((pattern, {o: int(bool(raw[o])) for o in locked.outputs}))
+    else:
+        pairs = [
+            (
+                {i: int(bool(p.get(i, 0))) for i in data_inputs},
+                {o: int(bool(r[o])) for o in locked.outputs},
+            )
+            for p, r in test_set
+        ]
+    n_pat = len(pairs)
+
+    sim = BitSimulator(locked)
+    in_bits = np.array(
+        [[p[i] for i in data_inputs] for p, _ in pairs], dtype=np.uint8
+    )
+    data_words = pack_patterns(in_bits)
+    want_bits = np.array(
+        [[r[o] for o in locked.outputs] for _, r in pairs], dtype=np.uint8
+    )
+    want_words = pack_patterns(want_bits)
+    nw = data_words.shape[1]
+
+    def mismatches(key_vec: list[int]) -> int:
+        in_words = {name: data_words[i] for i, name in enumerate(data_inputs)}
+        for k, b in zip(key_inputs, key_vec):
+            in_words[k] = broadcast_constant(b, nw)
+        out = sim.run_outputs(in_words)
+        diff = out ^ want_words
+        diff[:, -1] &= tail_mask(n_pat)
+        return popcount_words(diff)
+
+    best_key: list[int] | None = None
+    best_cost = None
+    flips_used = 0
+    for restart in range(config.restarts):
+        key = [rng.randrange(2) for _ in key_inputs]
+        cost = mismatches(key)
+        improved = True
+        while improved and flips_used < config.max_flips:
+            improved = False
+            order = list(range(len(key_inputs)))
+            rng.shuffle(order)
+            for bit in order:
+                if flips_used >= config.max_flips:
+                    break
+                key[bit] ^= 1
+                flips_used += 1
+                new_cost = mismatches(key)
+                if new_cost < cost:
+                    cost = new_cost
+                    improved = True
+                else:
+                    key[bit] ^= 1
+            if improved or not config.pair_flips or cost == 0:
+                continue
+            # plateau: probe two-bit moves (escapes multi-input control
+            # gates whose output only changes when several bits move)
+            n = len(key_inputs)
+            pair_order = [(i, j) for i in range(n) for j in range(i + 1, n)]
+            rng.shuffle(pair_order)
+            for i, j in pair_order:
+                if flips_used >= config.max_flips:
+                    break
+                key[i] ^= 1
+                key[j] ^= 1
+                flips_used += 1
+                new_cost = mismatches(key)
+                if new_cost < cost:
+                    cost = new_cost
+                    improved = True
+                    break
+                key[i] ^= 1
+                key[j] ^= 1
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_key = list(key)
+        if best_cost == 0:
+            break
+
+    recovered = (
+        {k: b for k, b in zip(key_inputs, best_key)} if best_key is not None else None
+    )
+    return AttackResult(
+        attack="hillclimb",
+        recovered_key=recovered,
+        completed=best_cost == 0,
+        iterations=flips_used,
+        oracle_queries=getattr(oracle, "n_queries", 0) - start_queries
+        if test_set is None
+        else 0,
+        notes={"residual_mismatches": best_cost, "patterns": n_pat},
+    )

@@ -1,0 +1,121 @@
+"""Oracle interfaces for oracle-based attacks.
+
+Every oracle-guided attack needs correct input/output pairs of the
+activated circuit.  Two providers are modelled:
+
+* :class:`IdealOracle` — a direct functional model (the abstraction prior
+  attack papers use).  It exists for unit tests and as the "what the
+  attacker wishes they had" reference.
+* :class:`ScanOracle` — the realistic provider: a
+  :class:`~repro.orap.chip.ProtectedChip` driven through its actual scan
+  protocol.  Against the unprotected baseline chip it behaves exactly like
+  the ideal oracle; against an OraP chip every query sees the *locked*
+  circuit because scan entry cleared the key register — which is the
+  paper's entire point.
+
+Both count queries, so experiments can report oracle-access cost.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from ..netlist import Netlist
+from ..orap.chip import ProtectedChip
+
+
+class Oracle(Protocol):
+    """Maps a full input assignment to the output assignment."""
+
+    inputs: list[str]
+    outputs: list[str]
+
+    def query(self, assignment: Mapping[str, int]) -> dict[str, int]:
+        """Return the output assignment for one input assignment."""
+        ...
+
+
+class IdealOracle:
+    """Functional oracle over a keyless (activated) netlist."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.inputs = netlist.inputs
+        self.outputs = netlist.outputs
+        self.n_queries = 0
+
+    def query(self, assignment: Mapping[str, int]) -> dict[str, int]:
+        """Return the output assignment for one input assignment."""
+        self.n_queries += 1
+        return self.netlist.evaluate_outputs(assignment)
+
+
+class ScanOracle:
+    """Oracle access through a chip's scan interface.
+
+    The attack target is the locked *combinational core* (full-scan view):
+    core inputs are the chip's primary inputs plus the flop Q nets (set via
+    scan), core outputs are the primary outputs plus the flop D nets
+    (observed via capture + scan-out).  One :meth:`query` is one scan-in /
+    capture / scan-out transaction.
+    """
+
+    def __init__(self, chip: ProtectedChip) -> None:
+        self.chip = chip
+        design = chip.design
+        key_set = set(chip.locked.key_inputs)
+        self._q_to_flop = {ff.q: ff for ff in design.flops}
+        self.inputs = [
+            i for i in design.core.inputs if i not in key_set
+        ]
+        self.outputs = list(design.core.outputs)
+        self._d_to_flop = {ff.d: ff for ff in design.flops}
+        self.n_queries = 0
+
+    def query(self, assignment: Mapping[str, int]) -> dict[str, int]:
+        """Return the output assignment for one input assignment."""
+        self.n_queries += 1
+        chip = self.chip
+        state = {
+            ff.name: int(bool(assignment.get(q, 0)))
+            for q, ff in self._q_to_flop.items()
+        }
+        pi = {
+            p: int(bool(assignment.get(p, 0)))
+            for p in chip.primary_inputs
+        }
+        po, captured = chip.oracle_query(pi, state)
+        out: dict[str, int] = {}
+        for o in self.outputs:
+            if o in po:
+                out[o] = po[o]
+            else:
+                ff = self._d_to_flop.get(o)
+                if ff is None:
+                    raise KeyError(f"core output {o!r} is neither PO nor flop D")
+                out[o] = captured[ff.name]
+        return out
+
+
+class CountingOracle:
+    """Wrapper that limits/counts queries around any oracle."""
+
+    def __init__(self, inner: Oracle, max_queries: int | None = None) -> None:
+        self.inner = inner
+        self.inputs = inner.inputs
+        self.outputs = inner.outputs
+        self.max_queries = max_queries
+        self.n_queries = 0
+
+    def query(self, assignment: Mapping[str, int]) -> dict[str, int]:
+        """Return the output assignment for one input assignment."""
+        if self.max_queries is not None and self.n_queries >= self.max_queries:
+            raise OracleBudgetExceeded(
+                f"oracle budget of {self.max_queries} queries exhausted"
+            )
+        self.n_queries += 1
+        return self.inner.query(assignment)
+
+
+class OracleBudgetExceeded(RuntimeError):
+    """An attack hit its oracle-access budget."""

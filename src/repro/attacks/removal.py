@@ -1,0 +1,133 @@
+"""Removal attack (Yasin et al. [9]).
+
+Identifies a key-dependent *appendage* block — a subcircuit whose only
+interaction with the functional logic is a single XOR/XNOR merge into one
+net (the SARLock/Anti-SAT signature) — and removes it, restoring the
+other XOR operand as the net's driver.
+
+The structural criterion: for an XOR/XNOR gate with fan-ins ``(a, b)``,
+``b`` is a removable flip-signal if every key input lies in ``b``'s cone
+and none in ``a``'s.  Against WLL this never holds (every key gate's
+"other operand" is original logic but the key cone is just the control
+gate — however removing it leaves the *wrong* polarity half the time and,
+more importantly, there are many interleaved key gates, so verification
+fails), and against OraP the paper's observation is reproduced: removing
+the LFSR/key gates does not unlock the circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist import GateType, Netlist
+from .result import AttackResult
+
+
+@dataclass
+class RemovalCandidate:
+    """An XOR/XNOR merge whose flip side looks removable."""
+    merge_gate: str  # the XOR/XNOR whose flip input gets removed
+    flip_net: str
+    kept_net: str
+
+
+def find_removal_candidates(
+    locked: Netlist, key_inputs: list[str]
+) -> list[RemovalCandidate]:
+    """Locate XOR/XNOR merges with a removable key appendage.
+
+    Two signatures are recognized:
+
+    * **pure key appendage** — one side's cone contains key inputs and *no*
+      data inputs (an RLL/WLL key-gate control cone);
+    * **point-function appendage** — one side's cone contains key inputs,
+      the other side's contains none (the SARLock/Anti-SAT merge; the
+      functional side is key-free because the block merges at an output).
+
+    Downstream of other key gates, functional XORs have keys in *both*
+    cones and are correctly skipped.
+    """
+    key_set = set(key_inputs)
+    data_set = set(locked.inputs) - key_set
+    candidates: list[RemovalCandidate] = []
+    for net in locked.nets:
+        g = locked.gate(net)
+        if g.gtype not in (GateType.XOR, GateType.XNOR) or len(g.fanin) != 2:
+            continue
+        a, b = g.fanin
+        cone_a = locked.transitive_fanin([a])
+        cone_b = locked.transitive_fanin([b])
+        keys_a = cone_a & key_set
+        keys_b = cone_b & key_set
+        pure_a = bool(keys_a) and not (cone_a & data_set)
+        pure_b = bool(keys_b) and not (cone_b & data_set)
+        if pure_b:
+            candidates.append(RemovalCandidate(net, flip_net=b, kept_net=a))
+        elif pure_a:
+            candidates.append(RemovalCandidate(net, flip_net=a, kept_net=b))
+        elif keys_b and not keys_a:
+            candidates.append(RemovalCandidate(net, flip_net=b, kept_net=a))
+        elif keys_a and not keys_b:
+            candidates.append(RemovalCandidate(net, flip_net=a, kept_net=b))
+    return candidates
+
+
+def removal_attack(locked: Netlist, key_inputs: list[str]) -> AttackResult:
+    """Run the removal attack.
+
+    Each appendage's inactive value is inferred from its topological signal
+    probability (round to the nearer constant) — the published heuristic.
+    This succeeds against point-function blocks (SARLock's flip net and
+    Anti-SAT's Y sit at p ~ 0), but against WLL the *pass* value of a
+    control gate is deliberately its rare value, so the inferred constant
+    is the actuating one and the reconstruction comes out inverted — the
+    attack completes with a wrong netlist.  The reconstructed netlist is in
+    ``notes["netlist"]``; the caller verifies functional correctness.
+    """
+    from ..netlist import signal_probabilities
+
+    candidates = find_removal_candidates(locked, key_inputs)
+    if not candidates:
+        return AttackResult(
+            attack="removal",
+            recovered_key=None,
+            completed=False,
+            notes={"reason": "no key appendage found"},
+        )
+    probs = signal_probabilities(locked)
+    rebuilt = locked.copy(f"{locked.name}_removal")
+    for cand in candidates:
+        g = rebuilt.gate(cand.merge_gate)
+        inferred = 1 if probs[cand.flip_net] > 0.5 else 0
+        # merge gate with the flip input pinned to the inferred constant
+        if g.gtype is GateType.XOR:
+            passthrough = inferred == 0
+        else:  # XNOR
+            passthrough = inferred == 1
+        if passthrough:
+            rebuilt.replace_gate(cand.merge_gate, GateType.BUF, (cand.kept_net,))
+        else:
+            rebuilt.replace_gate(cand.merge_gate, GateType.NOT, (cand.kept_net,))
+    rebuilt.prune_dangling()
+    left_connected = []
+    for k in key_inputs:
+        if not rebuilt.has_net(k):
+            continue
+        if not rebuilt.fanout_map()[k] and k not in rebuilt.outputs:
+            rebuilt.remove_gate(k)
+        else:
+            # appendage not fully identified: the attacker must still pick
+            # a value for this pin — model the conventional guess of 0
+            left_connected.append(k)
+            rebuilt.replace_gate(k, GateType.CONST0, ())
+    return AttackResult(
+        attack="removal",
+        recovered_key=None,
+        completed=True,
+        notes={
+            "netlist": rebuilt,
+            "n_removed": len(candidates),
+            "merge_gates": [c.merge_gate for c in candidates],
+            "left_connected_keys": left_connected,
+        },
+    )

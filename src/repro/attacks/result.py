@@ -1,0 +1,74 @@
+"""Attack outcome container and key-verification helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..locking import LockedCircuit
+from ..sim import functional_match_fraction
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run.
+
+    Attributes:
+        attack: attack identifier.
+        recovered_key: the attack's best key guess (None if it produced a
+            reconstructed netlist instead, or gave up).
+        completed: the attack's own termination criterion was met (note: a
+            completed attack can still have recovered a *wrong* key — that
+            is exactly what happens against OraP).
+        iterations: algorithm-specific iteration count (e.g. DIPs).
+        oracle_queries: oracle transactions used.
+        notes: free-form diagnostics.
+    """
+
+    attack: str
+    recovered_key: dict[str, int] | None
+    completed: bool
+    iterations: int = 0
+    oracle_queries: int = 0
+    notes: dict[str, object] = field(default_factory=dict)
+
+
+def key_is_correct(
+    locked: LockedCircuit,
+    key: Mapping[str, int] | None,
+    n_patterns: int = 2048,
+    seed: int = 7,
+) -> bool:
+    """Check a recovered key for *functional* correctness.
+
+    An attack succeeds if its key makes the locked circuit match the
+    original — equal to the real key or an equivalent one.  Simulation
+    over a large random block is used (fast, and exact failures show up
+    immediately); tests additionally SAT-prove selected cases.
+    """
+    if key is None:
+        return False
+    full_key = {k: int(bool(key.get(k, 0))) for k in locked.key_inputs}
+    match = functional_match_fraction(
+        locked.original,
+        locked.locked,
+        n_patterns=n_patterns,
+        seed=seed,
+        inputs_b=full_key,
+    )
+    return match == 1.0
+
+
+def netlist_is_correct(
+    locked: LockedCircuit,
+    reconstructed,
+    n_patterns: int = 2048,
+    seed: int = 7,
+) -> bool:
+    """Check a reconstructed (keyless) netlist against the original."""
+    if reconstructed is None:
+        return False
+    match = functional_match_fraction(
+        locked.original, reconstructed, n_patterns=n_patterns, seed=seed
+    )
+    return match == 1.0

@@ -1,0 +1,164 @@
+"""The SAT attack on logic locking (Subramanyan et al. [6]).
+
+Algorithm: maintain two copies of the locked netlist that share the data
+inputs ``X`` but have independent key vectors ``K1``/``K2``.  Repeatedly:
+
+1. Find a *distinguishing input pattern* (DIP) ``X*`` and keys producing
+   different outputs on it.
+2. Query the oracle for the correct output ``Y* = eval(X*)``.
+3. Constrain both key copies to produce ``Y*`` on ``X*``.
+
+All circuit copies are encoded through a shared structurally-hashed AIG
+(:mod:`repro.attacks.encoding`): the I/O-constraint copies have constant
+data inputs that fold away, so each iteration adds only a small key-cone —
+the trick that keeps instances tractable, as in the original attack tool's
+use of ABC-style preprocessing.
+
+When no DIP exists, every key satisfying the accumulated constraints is
+functionally correct *with respect to the oracle's answers* — if the
+oracle was the real unlocked circuit, that is the correct (or an
+equivalent) key.  Against an OraP chip the oracle answers with the locked
+circuit's responses, so the attack converges to a key reproducing the
+*locked* behaviour: completed, but wrong.  That distinction is what the
+attack-matrix experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..netlist import Netlist
+from ..sat import Solver
+from ..sat.solver import BudgetExhausted
+from .encoding import AIGEncoder
+from .oracle import Oracle
+from .result import AttackResult
+
+
+@dataclass
+class SATAttackConfig:
+    """Knobs for :func:`sat_attack`.
+
+    Attributes:
+        max_iterations: DIP budget before giving up (None = unlimited).
+        conflict_budget: per-solve CDCL conflict cap (None = unlimited).
+    """
+
+    max_iterations: int | None = 256
+    conflict_budget: int | None = None
+
+
+def sat_attack(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    oracle: Oracle,
+    config: SATAttackConfig | None = None,
+) -> AttackResult:
+    """Run the SAT attack.
+
+    Args:
+        locked: the locked netlist (what the attacker reverse-engineered).
+        key_inputs: names of the key inputs within ``locked``.
+        oracle: correct-response provider (ideal or scan-level).
+
+    Returns:
+        AttackResult with ``recovered_key`` set when the DIP loop reached
+        UNSAT (``completed=True``).
+    """
+    config = config or SATAttackConfig()
+    key_set = set(key_inputs)
+    data_inputs = [i for i in locked.inputs if i not in key_set]
+
+    solver = Solver()
+    enc = AIGEncoder(solver)
+    x_lits = {name: enc.fresh_pi(name) for name in data_inputs}
+    k1_lits = {name: enc.fresh_pi(f"k1_{name}") for name in key_inputs}
+    k2_lits = {name: enc.fresh_pi(f"k2_{name}") for name in key_inputs}
+    out1 = enc.encode_netlist(locked, {**x_lits, **k1_lits})
+    out2 = enc.encode_netlist(locked, {**x_lits, **k2_lits})
+    diff = enc.diff_literal([(out1[o], out2[o]) for o in locked.outputs])
+    solver.add_clause([enc.sat_literal(diff)])
+
+    io_log: list[tuple[dict[str, int], dict[str, int]]] = []
+    start_queries = getattr(oracle, "n_queries", 0)
+
+    def queries_used() -> int:
+        return getattr(oracle, "n_queries", 0) - start_queries
+
+    def add_io_constraint(
+        dip: Mapping[str, int], response: Mapping[str, int]
+    ) -> None:
+        for k_lits in (k1_lits, k2_lits):
+            outs = enc.encode_netlist(locked, dict(k_lits), const_inputs=dip)
+            for o in locked.outputs:
+                enc.assert_equals(outs[o], response[o])
+
+    while True:
+        if config.max_iterations is not None and len(io_log) >= config.max_iterations:
+            return AttackResult(
+                attack="sat",
+                recovered_key=None,
+                completed=False,
+                iterations=len(io_log),
+                oracle_queries=queries_used(),
+                notes={"reason": "iteration budget exhausted"},
+            )
+        try:
+            res = solver.solve(conflict_budget=config.conflict_budget)
+        except BudgetExhausted:
+            return AttackResult(
+                attack="sat",
+                recovered_key=None,
+                completed=False,
+                iterations=len(io_log),
+                oracle_queries=queries_used(),
+                notes={"reason": "conflict budget exhausted"},
+            )
+        if not res.sat:
+            break
+        assert res.model is not None
+        dip = {
+            name: int(res.model[enc.pi_var(lit)])
+            for name, lit in x_lits.items()
+        }
+        raw = oracle.query(dip)
+        response = {o: int(bool(raw[o])) for o in locked.outputs}
+        io_log.append((dip, response))
+        add_io_constraint(dip, response)
+
+    key = extract_consistent_key(locked, key_inputs, io_log)
+    return AttackResult(
+        attack="sat",
+        recovered_key=key,
+        completed=key is not None,
+        iterations=len(io_log),
+        oracle_queries=queries_used(),
+        notes={"io_log_len": len(io_log)},
+    )
+
+
+def extract_consistent_key(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    io_log: Sequence[tuple[Mapping[str, int], Mapping[str, int]]],
+) -> dict[str, int] | None:
+    """Solve for a key consistent with every logged (input, output) pair.
+
+    Returns None only if the history is contradictory (no single key
+    explains all oracle answers — e.g. a flaky oracle).
+    """
+    solver = Solver()
+    enc = AIGEncoder(solver)
+    k_lits = {name: enc.fresh_pi(name) for name in key_inputs}
+    for dip, response in io_log:
+        outs = enc.encode_netlist(locked, dict(k_lits), const_inputs=dip)
+        for o in locked.outputs:
+            enc.assert_equals(outs[o], int(bool(response[o])))
+    res = solver.solve()
+    if not res.sat:
+        return None
+    assert res.model is not None
+    return {
+        name: int(res.model[enc.pi_var(lit)]) for name, lit in k_lits.items()
+    }

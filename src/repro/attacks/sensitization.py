@@ -1,0 +1,265 @@
+"""Key-sensitization attack (Yasin et al. [5]).
+
+For each key input, SAT-search an input pattern that *sensitizes* the key
+bit to a primary output (the output flips when the key bit flips, for some
+assignment of the remaining key bits).  Querying the oracle on that
+pattern and simulating the locked netlist for both values of the bit then
+reveals it — provided the pattern is *golden*: the sensitized outputs must
+be determined by the target bit alone, not by the other (unknown) keys.
+Golden-ness is checked by sampling the unknown keys; non-golden patterns
+are discarded (this interference is exactly what "strong logic locking"
+later engineered, and why the attack cannot always finish bit-by-bit).
+
+Bits that resist individual sensitization are brute-forced at the end
+against a batch of oracle responses (bit-parallel simulation), and the
+final key is verified against fresh oracle queries — an attack that
+completes reports a key that truly matches the oracle's behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..netlist import Netlist
+from ..sat import CNF, CircuitEncoder, Solver
+from ..sim import BitSimulator, broadcast_constant, pack_patterns
+from .oracle import Oracle
+from .result import AttackResult
+
+
+@dataclass
+class SensitizationConfig:
+    """Knobs for :func:`sensitization_attack`."""
+    max_rounds: int = 8
+    attempts_per_bit: int = 4
+    #: samples of the unknown keys used to confirm a pattern is golden
+    golden_samples: int = 8
+    #: brute-force the remaining bits when at most this many resist
+    #: individual sensitization (mutual interference / pairwise security)
+    brute_force_limit: int = 12
+    brute_force_patterns: int = 32
+    verify_patterns: int = 16
+    seed: int = 0
+
+
+def _find_sensitizing_pattern(
+    locked: Netlist,
+    data_inputs: Sequence[str],
+    key_inputs: Sequence[str],
+    target_bit: str,
+    known: dict[str, int],
+    forbidden: list[dict[str, int]],
+) -> tuple[dict[str, int], dict[str, int]] | None:
+    """Find (pattern, other_keys) flipping some output when target flips.
+
+    ``known`` pins already-recovered key bits; ``forbidden`` excludes
+    previously tried patterns.
+    """
+    cnf = CNF()
+    x_vars = {name: cnf.new_var() for name in data_inputs}
+    other = [k for k in key_inputs if k != target_bit and k not in known]
+    k_vars = {name: cnf.new_var() for name in other}
+    t0 = cnf.new_var()  # copy A: target = 0
+    t1 = cnf.new_var()  # copy B: target = 1
+    cnf.add_clause([-t0])
+    cnf.add_clause([t1])
+    const_vars: dict[str, int] = {}
+    for name, bit in known.items():
+        v = cnf.new_var()
+        cnf.add_clause([v] if bit else [-v])
+        const_vars[name] = v
+    share_a = {**x_vars, **k_vars, **const_vars, target_bit: t0}
+    share_b = {**x_vars, **k_vars, **const_vars, target_bit: t1}
+    enc_a = CircuitEncoder(locked, cnf=cnf, share=share_a)
+    enc_b = CircuitEncoder(locked, cnf=cnf, share=share_b)
+    diffs = []
+    for o in locked.outputs:
+        va, vb = enc_a.var(o), enc_b.var(o)
+        d = cnf.new_var()
+        cnf.add_clause([-d, va, vb])
+        cnf.add_clause([-d, -va, -vb])
+        cnf.add_clause([d, -va, vb])
+        cnf.add_clause([d, va, -vb])
+        diffs.append(d)
+    cnf.add_clause(diffs)
+    for pat in forbidden:
+        cnf.add_clause(
+            [(-x_vars[i] if pat[i] else x_vars[i]) for i in data_inputs]
+        )
+    res = Solver(cnf).solve()
+    if not res.sat:
+        return None
+    assert res.model is not None
+    pattern = {i: int(res.model[x_vars[i]]) for i in data_inputs}
+    others = {k: int(res.model[k_vars[k]]) for k in other}
+    return pattern, others
+
+
+def sensitization_attack(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    oracle: Oracle,
+    config: SensitizationConfig | None = None,
+) -> AttackResult:
+    """Run the key-sensitization attack."""
+    config = config or SensitizationConfig()
+    rng = random.Random(config.seed)
+    key_set = set(key_inputs)
+    data_inputs = [i for i in locked.inputs if i not in key_set]
+    known: dict[str, int] = {}
+    start_queries = getattr(oracle, "n_queries", 0)
+    attempts = 0
+
+    def simulate(pattern: dict[str, int], key: dict[str, int]) -> dict[str, int]:
+        assignment = dict(pattern)
+        assignment.update(key)
+        return locked.evaluate_outputs(assignment)
+
+    def is_golden(
+        pattern: dict[str, int],
+        bit: str,
+        others: dict[str, int],
+        sensitized: list[str],
+        out0: dict[str, int],
+        out1: dict[str, int],
+    ) -> bool:
+        """The sensitized outputs must not depend on the unknown keys."""
+        unknown = [k for k in key_inputs if k != bit and k not in known]
+        for _ in range(config.golden_samples):
+            trial = {k: rng.randrange(2) for k in unknown}
+            trial.update(known)
+            s0 = simulate(pattern, {**trial, bit: 0})
+            s1 = simulate(pattern, {**trial, bit: 1})
+            for o in sensitized:
+                if s0[o] != out0[o] or s1[o] != out1[o]:
+                    return False
+        return True
+
+    for _ in range(config.max_rounds):
+        progress = False
+        for bit in key_inputs:
+            if bit in known:
+                continue
+            forbidden: list[dict[str, int]] = []
+            for _ in range(config.attempts_per_bit):
+                found = _find_sensitizing_pattern(
+                    locked, data_inputs, key_inputs, bit, known, forbidden
+                )
+                if found is None:
+                    break
+                pattern, others = found
+                attempts += 1
+                trial = {**known, **others}
+                out0 = simulate(pattern, {**trial, bit: 0})
+                out1 = simulate(pattern, {**trial, bit: 1})
+                sensitized = [o for o in locked.outputs if out0[o] != out1[o]]
+                if not is_golden(pattern, bit, others, sensitized, out0, out1):
+                    forbidden.append(pattern)
+                    continue
+                want = oracle.query(pattern)
+                want = {o: int(bool(want[o])) for o in locked.outputs}
+                m0 = all(out0[o] == want[o] for o in sensitized)
+                m1 = all(out1[o] == want[o] for o in sensitized)
+                if m0 != m1:  # exactly one hypothesis consistent
+                    known[bit] = 0 if m0 else 1
+                    progress = True
+                    break
+                forbidden.append(pattern)
+        if len(known) == len(key_inputs):
+            break
+        if not progress:
+            break
+
+    remaining = [k for k in key_inputs if k not in known]
+    brute_forced = False
+    if remaining and len(remaining) <= config.brute_force_limit:
+        # interfering bits resist isolation (pairwise-secured gates); the
+        # attacker falls back to exhausting the residual key space against
+        # a batch of oracle responses, bit-parallel
+        probes = []
+        for _ in range(config.brute_force_patterns):
+            pattern = {i: rng.randrange(2) for i in data_inputs}
+            raw = oracle.query(pattern)
+            probes.append(
+                (pattern, {o: int(bool(raw[o])) for o in locked.outputs})
+            )
+        match = _bruteforce_bits(
+            locked, data_inputs, known, remaining, probes
+        )
+        if match is not None:
+            known = match
+            brute_forced = True
+
+    complete = len(known) == len(key_inputs)
+    recovered = dict(known) if complete else None
+
+    # final verification: a completed attack must reproduce the oracle
+    if complete:
+        for _ in range(config.verify_patterns):
+            pattern = {i: rng.randrange(2) for i in data_inputs}
+            raw = oracle.query(pattern)
+            got = simulate(pattern, recovered)
+            if any(got[o] != int(bool(raw[o])) for o in locked.outputs):
+                complete = False
+                recovered = None
+                break
+
+    return AttackResult(
+        attack="sensitization",
+        recovered_key=recovered,
+        completed=complete,
+        iterations=attempts,
+        oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        notes={
+            "bits_recovered": len(known) if complete else len(
+                [k for k in known if k not in remaining]
+            ),
+            "key_width": len(key_inputs),
+            "brute_forced": brute_forced,
+        },
+    )
+
+
+def _bruteforce_bits(
+    locked: Netlist,
+    data_inputs: Sequence[str],
+    known: dict[str, int],
+    remaining: Sequence[str],
+    probes: Sequence[tuple[dict[str, int], dict[str, int]]],
+) -> dict[str, int] | None:
+    """Exhaust the residual key bits against recorded oracle responses."""
+    sim = BitSimulator(locked)
+    n_pat = len(probes)
+    bits = np.array(
+        [[p[i] for i in data_inputs] for p, _ in probes], dtype=np.uint8
+    )
+    data_words = pack_patterns(bits)
+    want_bits = np.array(
+        [[r[o] for o in locked.outputs] for _, r in probes], dtype=np.uint8
+    )
+    want_words = pack_patterns(want_bits)
+    nw = data_words.shape[1]
+    base_words = {
+        name: data_words[i] for i, name in enumerate(data_inputs)
+    }
+    for name, bit in known.items():
+        base_words[name] = broadcast_constant(bit, nw)
+    from ..sim import tail_mask
+
+    for combo in range(1 << len(remaining)):
+        in_words = dict(base_words)
+        guess = dict(known)
+        for bi, name in enumerate(remaining):
+            b = (combo >> bi) & 1
+            guess[name] = b
+            in_words[name] = broadcast_constant(b, nw)
+        out = sim.run_outputs(in_words)
+        diff = out ^ want_words
+        diff[:, -1] &= tail_mask(n_pat)
+        if not diff.any():
+            return guess
+    return None

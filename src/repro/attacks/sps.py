@@ -1,0 +1,111 @@
+"""Signal probability skew (SPS) attack (Yasin et al. [9]).
+
+Anti-SAT's block output ``Y = g(X^K1) & !g(X^K2)`` has signal probability
+~2^-n: an extreme skew no functional net shares.  The SPS attack computes
+topological signal probabilities, locates the most skewed net feeding an
+XOR near an output, and *removes* the block by replacing that net with its
+skewed constant.  This is an oracle-less structural attack; it appears
+here because the paper discusses why it does not apply to OraP (no
+probability-skewed signal exists — verified by the attack returning
+nothing usable against OraP+WLL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist import GateType, Netlist, probability_skew, signal_probabilities
+from .result import AttackResult
+
+
+@dataclass
+class SPSFinding:
+    """A candidate locking-block output identified by skew analysis."""
+
+    net: str
+    probability: float
+    skew: float
+    consumer: str  # the XOR/XNOR gate it feeds
+
+
+def find_skewed_nets(
+    locked: Netlist, key_inputs: list[str] | None = None, min_skew: float = 0.45
+) -> list[SPSFinding]:
+    """Rank internal nets by skew, restricted to nets feeding XOR-class
+    gates (the key-gate signature SPS exploits).
+
+    When ``key_inputs`` is given, only nets whose fan-in cone contains at
+    least one key input qualify — deep functional logic can be naturally
+    skewed, but it cannot be the locking block (the attacker knows the key
+    pins from the netlist interface).
+    """
+    probs = signal_probabilities(locked)
+    fanout = locked.fanout_map()
+    key_set = set(key_inputs or ())
+    findings: list[SPSFinding] = []
+    for net in locked.nets:
+        g = locked.gate(net)
+        if g.gtype.is_source:
+            continue
+        skew = probability_skew(probs[net])
+        if skew < min_skew:
+            continue
+        if key_set and not (locked.transitive_fanin([net]) & key_set):
+            continue
+        for consumer in fanout[net]:
+            cg = locked.gate(consumer)
+            if cg.gtype in (GateType.XOR, GateType.XNOR):
+                findings.append(
+                    SPSFinding(
+                        net=net,
+                        probability=probs[net],
+                        skew=skew,
+                        consumer=consumer,
+                    )
+                )
+                break
+    findings.sort(key=lambda f: (-f.skew, f.net))
+    return findings
+
+
+def sps_attack(
+    locked: Netlist,
+    key_inputs: list[str],
+    min_skew: float = 0.45,
+) -> AttackResult:
+    """Run the SPS attack: remove the most skewed XOR-feeding net.
+
+    Returns a reconstructed keyless netlist in ``notes["netlist"]`` when a
+    candidate was found (the caller verifies functional correctness —
+    success against Anti-SAT, failure/no-candidate against WLL/OraP).
+    """
+    findings = find_skewed_nets(locked, key_inputs, min_skew=min_skew)
+    if not findings:
+        return AttackResult(
+            attack="sps",
+            recovered_key=None,
+            completed=False,
+            notes={"reason": "no probability-skewed candidate nets"},
+        )
+    best = findings[0]
+    rebuilt = locked.copy(f"{locked.name}_sps")
+    constant = 1 if best.probability > 0.5 else 0
+    rebuilt.replace_gate(
+        best.net, GateType.CONST1 if constant else GateType.CONST0, ()
+    )
+    # drop the now-disconnected key inputs from the interface
+    rebuilt.prune_dangling()
+    for k in key_inputs:
+        if rebuilt.has_net(k) and not rebuilt.fanout_map()[k] and k not in rebuilt.outputs:
+            rebuilt.remove_gate(k)
+    return AttackResult(
+        attack="sps",
+        recovered_key=None,
+        completed=True,
+        notes={
+            "netlist": rebuilt,
+            "removed_net": best.net,
+            "probability": best.probability,
+            "n_candidates": len(findings),
+        },
+    )

@@ -1,0 +1,159 @@
+"""Small genuine circuits used as test fixtures and example inputs.
+
+``c17`` is the real ISCAS'85 netlist; the arithmetic blocks are textbook
+constructions.  These are deliberately tiny so that exhaustive simulation
+and SAT proofs stay instant in tests.
+"""
+
+from __future__ import annotations
+
+from ..netlist import FlipFlop, GateType, Netlist, SequentialCircuit, parse_bench
+
+_C17_BENCH = """
+# c17 (ISCAS'85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Netlist:
+    """The ISCAS'85 c17 benchmark (5 inputs, 2 outputs, 6 NAND gates)."""
+    from ..netlist import parse_bench_combinational
+
+    return parse_bench_combinational(_C17_BENCH, name="c17")
+
+
+def ripple_adder(width: int = 4) -> Netlist:
+    """A ``width``-bit ripple-carry adder: inputs a*, b*, cin; outputs s*, cout."""
+    nl = Netlist(f"adder{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    carry = nl.add_input("cin")
+    sums = []
+    for i in range(width):
+        p = nl.add_gate(f"p{i}", GateType.XOR, (a[i], b[i]))
+        s = nl.add_gate(f"s{i}", GateType.XOR, (p, carry))
+        g1 = nl.add_gate(f"g1_{i}", GateType.AND, (a[i], b[i]))
+        g2 = nl.add_gate(f"g2_{i}", GateType.AND, (p, carry))
+        carry = nl.add_gate(f"c{i}", GateType.OR, (g1, g2))
+        sums.append(s)
+    nl.set_outputs(sums + [carry])
+    return nl
+
+
+def equality_checker(width: int = 4) -> Netlist:
+    """1 iff the two ``width``-bit inputs are equal."""
+    nl = Netlist(f"eq{width}")
+    terms = []
+    for i in range(width):
+        x = nl.add_input(f"x{i}")
+        y = nl.add_input(f"y{i}")
+        terms.append(nl.add_gate(f"e{i}", GateType.XNOR, (x, y)))
+    nl.add_gate("eq", GateType.AND, tuple(terms))
+    nl.set_outputs(["eq"])
+    return nl
+
+
+def mini_alu(width: int = 4) -> Netlist:
+    """A small ALU: op selects among AND, OR, XOR, ADD of two words.
+
+    Inputs: a*, b*, op0, op1. Outputs: y*.
+    op = 00 AND, 01 OR, 10 XOR, 11 ADD (carry dropped).
+    """
+    nl = Netlist(f"alu{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    op0 = nl.add_input("op0")
+    op1 = nl.add_input("op1")
+    carry = nl.add_gate("c_in", GateType.CONST0, ())
+    outs = []
+    for i in range(width):
+        g_and = nl.add_gate(f"and{i}", GateType.AND, (a[i], b[i]))
+        g_or = nl.add_gate(f"or{i}", GateType.OR, (a[i], b[i]))
+        g_xor = nl.add_gate(f"xor{i}", GateType.XOR, (a[i], b[i]))
+        g_sum = nl.add_gate(f"sum{i}", GateType.XOR, (g_xor, carry))
+        c1 = nl.add_gate(f"c1_{i}", GateType.AND, (a[i], b[i]))
+        c2 = nl.add_gate(f"c2_{i}", GateType.AND, (g_xor, carry))
+        carry = nl.add_gate(f"c{i}", GateType.OR, (c1, c2))
+        lo = nl.add_gate(f"lo{i}", GateType.MUX, (op0, g_and, g_or))
+        hi = nl.add_gate(f"hi{i}", GateType.MUX, (op0, g_xor, g_sum))
+        outs.append(nl.add_gate(f"y{i}", GateType.MUX, (op1, lo, hi)))
+    nl.set_outputs(outs)
+    return nl
+
+
+def parity_tree(width: int = 8) -> Netlist:
+    """XOR-reduction of ``width`` inputs (linear circuit, LFSR-adjacent)."""
+    nl = Netlist(f"parity{width}")
+    nets = [nl.add_input(f"x{i}") for i in range(width)]
+    level = 0
+    while len(nets) > 1:
+        nxt = []
+        for i in range(0, len(nets) - 1, 2):
+            nxt.append(
+                nl.add_gate(f"p{level}_{i // 2}", GateType.XOR, (nets[i], nets[i + 1]))
+            )
+        if len(nets) % 2:
+            nxt.append(nets[-1])
+        nets = nxt
+        level += 1
+    if nets[0] != "parity":
+        nl.rename_net(nets[0], "parity")
+    nl.set_outputs(["parity"])
+    return nl
+
+
+def majority(width: int = 3) -> Netlist:
+    """Majority-of-width (odd width) via AND/OR of input pairs/triples."""
+    if width != 3:
+        raise ValueError("only width 3 implemented")
+    nl = Netlist("maj3")
+    x = [nl.add_input(f"x{i}") for i in range(3)]
+    t1 = nl.add_gate("t1", GateType.AND, (x[0], x[1]))
+    t2 = nl.add_gate("t2", GateType.AND, (x[0], x[2]))
+    t3 = nl.add_gate("t3", GateType.AND, (x[1], x[2]))
+    nl.add_gate("maj", GateType.OR, (t1, t2, t3))
+    nl.set_outputs(["maj"])
+    return nl
+
+
+def s27_like() -> SequentialCircuit:
+    """A small sequential circuit in the spirit of ISCAS'89 s27.
+
+    3 flip-flops, 4 primary inputs, 1 primary output.
+    """
+    core = Netlist("s27c")
+    for n in ("G0", "G1", "G2", "G3"):
+        core.add_input(n)
+    for n in ("Q5", "Q6", "Q7"):
+        core.add_input(n)  # flip-flop outputs
+    core.add_gate("G14", GateType.NOT, ("G0",))
+    core.add_gate("G8", GateType.AND, ("G14", "Q6"))
+    core.add_gate("G15", GateType.OR, ("G12", "G8"))
+    core.add_gate("G16", GateType.OR, ("G3", "G8"))
+    core.add_gate("G12", GateType.NOR, ("G1", "Q7"))
+    core.add_gate("G13", GateType.NOR, ("G2", "G12"))
+    core.add_gate("G9", GateType.NAND, ("G16", "G15"))
+    core.add_gate("G10", GateType.NOR, ("G9", "G13"))
+    core.add_gate("G11", GateType.NOR, ("G10", "Q5"))
+    core.add_gate("G17", GateType.NOT, ("G11",))
+    # D nets for the three flops + the primary output
+    core.set_outputs(["G17", "G10", "G11", "G13"])
+    circuit = SequentialCircuit(core, name="s27_like")
+    circuit.add_flop(FlipFlop("ff5", d="G10", q="Q5"))
+    circuit.add_flop(FlipFlop("ff6", d="G11", q="Q6"))
+    circuit.add_flop(FlipFlop("ff7", d="G13", q="Q7"))
+    circuit.build_scan_chains(1)
+    circuit.validate()
+    return circuit

@@ -1,0 +1,211 @@
+"""Ablation sweeps over the design knobs DESIGN.md calls out.
+
+* LFSR tap spacing / seed count / free-run gaps vs. the threat-(d)
+  XOR-tree payload — the paper's justification for using an LFSR ("it can
+  'mix up' the seeds' values and create more complex linear expressions,
+  as compared to a simple shift register") and for the tap-every-8 choice.
+* WLL control-gate width vs. HD and area (the 3-vs-5-input decision).
+* Key-cell scan placement vs. the threat-(b) MUX payload (the interleaved
+  placement countermeasure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..locking import WLLConfig, lock_weighted
+from ..orap import LFSRConfig, OraPConfig, ReseedSchedule, SymbolicLFSR, protect
+from ..orap.chip import ScanCellKind
+from ..sim import measure_corruption
+from ..synth import measure_overhead
+from .attack_matrix import default_design
+from .common import format_table
+
+
+# --------------------------------------------------------------------- #
+# 1. tap density / schedule vs XOR-tree payload (threat d)
+
+
+@dataclass
+class TapRow:
+    """One LFSR-structure ablation row."""
+    tap_spacing: int  # 0 = plain shift register (no feedback)
+    n_seeds: int
+    gap: int
+    xor_gates: int
+    mean_expr_size: float
+
+
+def xor_tree_cost(
+    size: int, tap_spacing: int, n_seeds: int, gap: int
+) -> tuple[int, float]:
+    """Threat-(d) XOR-tree size for one LFSR structure + schedule."""
+    if tap_spacing == 0:
+        # plain shift register: the weaker alternative the paper rejects
+        cfg = LFSRConfig(size=size, taps=(1,), feedback=False)
+    else:
+        cfg = LFSRConfig(
+            size=size, taps=tuple(range(tap_spacing, size, tap_spacing))
+        )
+    sym = SymbolicLFSR(cfg)
+    schedule = ReseedSchedule.regular(n_seeds=n_seeds, gap=gap, tail=gap)
+    for inject in schedule.inject:
+        sym.step_symbolic(inject)
+    sizes = sym.expression_sizes()
+    return sym.xor_tree_gate_count(), sum(sizes) / len(sizes)
+
+
+def run_tap_ablation(size: int = 64) -> list[TapRow]:
+    """Sweep tap spacing x schedule; returns XOR-tree costs."""
+    rows: list[TapRow] = []
+    for spacing in (0, 16, 8, 4):
+        for n_seeds, gap in ((2, 0), (4, 0), (4, 2), (8, 3)):
+            gates, mean_size = xor_tree_cost(size, spacing, n_seeds, gap)
+            rows.append(TapRow(spacing, n_seeds, gap, gates, mean_size))
+    return rows
+
+
+def print_tap_ablation(rows: list[TapRow]) -> str:
+    """Print the tap-ablation table; returns the text."""
+    text = format_table(
+        ["Tap spacing", "Seeds", "Gap", "XOR-tree gates", "Mean expr size"],
+        [
+            (r.tap_spacing or "shift-reg", r.n_seeds, r.gap, r.xor_gates, r.mean_expr_size)
+            for r in rows
+        ],
+        title="Ablation: LFSR structure/schedule vs threat-(d) payload (64-bit key)",
+    )
+    print(text)
+    return text
+
+
+# --------------------------------------------------------------------- #
+# 2. WLL control width vs HD / area
+
+
+@dataclass
+class WidthRow:
+    """One WLL control-width ablation row."""
+    control_width: int
+    n_key_gates: int
+    hd_percent: float
+    area_overhead_percent: float
+
+
+def run_wll_width_ablation(
+    netlist=None, key_width: int = 24, seed: int = 0
+) -> list[WidthRow]:
+    """Sweep WLL control-gate widths at fixed key width."""
+    from ..bench import GeneratorConfig, generate_netlist
+
+    if netlist is None:
+        netlist = generate_netlist(
+            GeneratorConfig(
+                n_inputs=24, n_outputs=20, n_gates=350, depth=9, seed=11, name="abl"
+            )
+        )
+    rows: list[WidthRow] = []
+    for width in (2, 3, 5):
+        n_gates = max(1, key_width // width)
+        locked = lock_weighted(
+            netlist,
+            WLLConfig(
+                key_width=key_width, control_width=width, n_key_gates=n_gates
+            ),
+            rng=seed,
+        )
+        rep = measure_corruption(
+            locked.locked,
+            locked.key_inputs,
+            locked.correct_key,
+            n_patterns=2048,
+            n_keys=8,
+            seed=seed,
+        )
+        ovh = measure_overhead(locked.original, locked.locked)
+        rows.append(
+            WidthRow(width, n_gates, rep.hd_percent, ovh.area_overhead_percent)
+        )
+    return rows
+
+
+def print_wll_width_ablation(rows: list[WidthRow]) -> str:
+    """Print the control-width table; returns the text."""
+    text = format_table(
+        ["Ctrl width", "Key gates", "HD%", "Area overhead %"],
+        [(r.control_width, r.n_key_gates, r.hd_percent, r.area_overhead_percent) for r in rows],
+        title="Ablation: WLL control-gate width vs corruption and area",
+    )
+    print(text)
+    return text
+
+
+# --------------------------------------------------------------------- #
+# 3. scan placement vs threat-(b) payload
+
+
+@dataclass
+class PlacementRow:
+    """One scan-placement ablation row."""
+    placement: str
+    n_bypass_muxes: int
+
+
+def run_placement_ablation(seed: int = 7) -> list[PlacementRow]:
+    """Measure threat-(b) MUX counts per placement policy."""
+    rows: list[PlacementRow] = []
+    base = default_design(seed=seed, variant="basic")
+    for placement in ("interleaved", "head", "clustered"):
+        cfg = OraPConfig(variant="basic", placement=placement)
+        d = protect(
+            base.design if placement == "never" else _fresh_design(seed),
+            orap=cfg,
+            wll=WLLConfig(key_width=12, control_width=3, n_key_gates=6),
+            rng=seed,
+        )
+        chip = d.build_chip()
+        n_mux = 0
+        for chain in chip.chains:
+            for idx, cell in enumerate(chain):
+                if cell.kind is not ScanCellKind.KEY:
+                    continue
+                nxt = chain[idx + 1] if idx + 1 < len(chain) else None
+                if nxt is not None and nxt.kind is ScanCellKind.FLOP:
+                    n_mux += 1
+        rows.append(PlacementRow(placement, n_mux))
+    return rows
+
+
+def _fresh_design(seed: int):
+    from ..bench import GeneratorConfig, SequentialConfig, generate_sequential
+
+    return generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=12, n_outputs=18, n_gates=150, depth=7, seed=4, name="abl_seq"
+            ),
+            n_flops=10,
+        )
+    )
+
+
+def print_placement_ablation(rows: list[PlacementRow]) -> str:
+    """Print the placement table; returns the text."""
+    text = format_table(
+        ["Placement", "Threat-(b) bypass MUXes"],
+        [(r.placement, r.n_bypass_muxes) for r in rows],
+        title="Ablation: key-cell scan placement vs threat-(b) payload",
+    )
+    print(text)
+    return text
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Command-line entry point."""
+    print_tap_ablation(run_tap_ablation())
+    print_wll_width_ablation(run_wll_width_ablation())
+    print_placement_ablation(run_placement_ablation())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

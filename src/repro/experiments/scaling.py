@@ -1,0 +1,97 @@
+"""Scaling study — does the reduced-scale substitution preserve shape?
+
+The reproduction runs the paper's circuits as synthetic stand-ins at a
+fraction of the published gate counts (DESIGN.md, "Substitutions").  This
+harness quantifies the substitution argument: it sweeps the scale factor
+and shows that the Table I quantities move the way the paper's own data
+moves —
+
+* HD stays in the target band at every scale (it is a property of the
+  locking configuration, not the circuit size);
+* area overhead *falls* as the circuit grows (the paper's
+  "clear overhead-reduction trend as circuit size increases"), because the
+  OraP fixed costs and the key-gate count are sublinear in circuit size;
+* the ranking between circuits is scale-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench import PAPER_CIRCUITS, build_paper_circuit, scaled_key_size
+from ..orap import LFSRConfig
+from ..sim import measure_corruption
+from ..synth import measure_overhead
+from .common import format_table
+from .table1 import lock_for_table1
+
+
+@dataclass
+class ScalingRow:
+    """One scale-sweep measurement row."""
+    circuit: str
+    scale: float
+    n_gates: int
+    key_width: int
+    hd_percent: float
+    area_overhead_percent: float
+
+
+def run_scaling_study(
+    circuit: str = "b20",
+    scales: tuple[float, ...] = (0.005, 0.01, 0.02, 0.04),
+    n_patterns: int = 2048,
+    seed: int = 0,
+) -> list[ScalingRow]:
+    """Sweep the stand-in scale for one circuit."""
+    spec = PAPER_CIRCUITS[circuit]
+    rows: list[ScalingRow] = []
+    for scale in scales:
+        netlist = build_paper_circuit(circuit, scale=scale)
+        key_width = scaled_key_size(circuit, scale)
+        locked, report, _ = lock_for_table1(
+            netlist,
+            key_width,
+            spec.control_inputs,
+            n_patterns=n_patterns,
+            n_keys=6,
+            rng=seed,
+        )
+        overhead = measure_overhead(
+            locked.original, locked.locked, LFSRConfig(size=key_width)
+        )
+        rows.append(
+            ScalingRow(
+                circuit=circuit,
+                scale=scale,
+                n_gates=netlist.num_gates(count_inverters=False),
+                key_width=key_width,
+                hd_percent=report.hd_percent,
+                area_overhead_percent=overhead.area_overhead_percent,
+            )
+        )
+    return rows
+
+
+def print_scaling(rows: list[ScalingRow]) -> str:
+    """Print the scaling table; returns the text."""
+    text = format_table(
+        ["Circuit", "Scale", "#Gates", "Key", "HD%", "Area ovhd %"],
+        [
+            (r.circuit, f"{r.scale:g}", r.n_gates, r.key_width,
+             r.hd_percent, r.area_overhead_percent)
+            for r in rows
+        ],
+        title="Scaling study — shape stability of the Table I quantities",
+    )
+    print(text)
+    return text
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Command-line entry point."""
+    print_scaling(run_scaling_study())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

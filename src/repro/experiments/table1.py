@@ -1,0 +1,182 @@
+"""Experiment E1 — paper Table I.
+
+For each benchmark circuit: apply OraP + weighted logic locking and report
+Hamming distance under random wrong keys, plus area and delay overhead
+after resynthesizing both circuit versions (the ABC-style
+strash/refactor/rewrite pipeline), including the pulse generators and the
+LFSR's reseeding/characteristic-polynomial XOR gates and excluding the
+LFSR flip-flops — the paper's exact accounting.
+
+Methodology notes mirrored from the paper:
+
+* key (LFSR) sizes per circuit come from Table I, scaled with the circuit;
+* control gates have 3 inputs (5 for b18/b19);
+* the key-gate count grows until HD reaches 50% or saturates ("we stopped
+  with smaller key sizes if output corruptibility with HD = 50% had been
+  achieved ... or if output corruptibility, in terms of HD, saturated");
+* HD is measured with long pseudorandom input sequences and several random
+  wrong keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
+from ..locking import WLLConfig, lock_weighted
+from ..orap import LFSRConfig
+from ..sim import measure_corruption
+from ..synth import measure_overhead
+from .common import DEFAULT_SCALE, format_table
+
+
+@dataclass
+class Table1Row:
+    """One measured Table I row, with the published values alongside."""
+
+    circuit: str
+    n_gates: int
+    n_outputs: int
+    lfsr_size: int
+    control_inputs: int
+    n_key_gates: int
+    hd_percent: float
+    area_overhead_percent: float
+    delay_overhead_percent: float
+    paper_hd: float
+    paper_area: float
+    paper_delay: float
+
+
+def lock_for_table1(
+    netlist,
+    key_width: int,
+    control_inputs: int,
+    hd_target: float = 50.0,
+    saturation_delta: float = 1.0,
+    n_patterns: int = 4096,
+    n_keys: int = 8,
+    rng: int = 0,
+):
+    """Apply WLL, growing the key-gate count until HD hits the target or
+    saturates.  Returns ``(locked, corruption_report, n_key_gates)``."""
+    n_gates = max(1, key_width // control_inputs)
+    best = None
+    prev_hd = -1e9
+    while True:
+        cfg = WLLConfig(
+            key_width=key_width,
+            control_width=control_inputs,
+            n_key_gates=n_gates,
+        )
+        locked = lock_weighted(netlist, cfg, rng=rng)
+        report = measure_corruption(
+            locked.locked,
+            locked.key_inputs,
+            locked.correct_key,
+            n_patterns=n_patterns,
+            n_keys=n_keys,
+            seed=rng,
+        )
+        best = (locked, report, n_gates)
+        if report.hd_percent >= hd_target:
+            break
+        if report.hd_percent - prev_hd < saturation_delta:
+            break
+        lockable = netlist.num_gates()
+        if n_gates * 2 > lockable:
+            break
+        prev_hd = report.hd_percent
+        n_gates *= 2
+    return best
+
+
+def run_table1(
+    scale: float = DEFAULT_SCALE,
+    circuits: list[str] | None = None,
+    n_patterns: int = 4096,
+    n_keys: int = 8,
+    seed: int = 0,
+) -> list[Table1Row]:
+    """Measure Table I rows on the scaled stand-in circuits."""
+    rows: list[Table1Row] = []
+    for name in circuits or PAPER_ORDER:
+        spec = PAPER_CIRCUITS[name]
+        netlist = build_paper_circuit(name, scale=scale)
+        key_width = scaled_key_size(name, scale)
+        locked, report, n_key_gates = lock_for_table1(
+            netlist,
+            key_width,
+            spec.control_inputs,
+            n_patterns=n_patterns,
+            n_keys=n_keys,
+            rng=seed,
+        )
+        lfsr_cfg = LFSRConfig(size=key_width)
+        overhead = measure_overhead(locked.original, locked.locked, lfsr_cfg)
+        rows.append(
+            Table1Row(
+                circuit=name,
+                n_gates=netlist.num_gates(count_inverters=False),
+                n_outputs=len(netlist.outputs),
+                lfsr_size=key_width,
+                control_inputs=spec.control_inputs,
+                n_key_gates=n_key_gates,
+                hd_percent=report.hd_percent,
+                area_overhead_percent=overhead.area_overhead_percent,
+                delay_overhead_percent=overhead.delay_overhead_percent,
+                paper_hd=spec.hd_percent,
+                paper_area=spec.area_overhead_percent,
+                paper_delay=spec.delay_overhead_percent,
+            )
+        )
+    return rows
+
+
+def print_table1(rows: list[Table1Row]) -> str:
+    """Print Table I with paper columns; returns the text."""
+    text = format_table(
+        [
+            "Circuit",
+            "#Gates",
+            "#Outputs",
+            "LFSR",
+            "Ctrl",
+            "KeyGates",
+            "HD%",
+            "HD%(paper)",
+            "ArOvhd%",
+            "Ar%(paper)",
+            "DelOvhd%",
+            "Del%(paper)",
+        ],
+        [
+            (
+                r.circuit,
+                r.n_gates,
+                r.n_outputs,
+                r.lfsr_size,
+                r.control_inputs,
+                r.n_key_gates,
+                r.hd_percent,
+                r.paper_hd,
+                r.area_overhead_percent,
+                r.paper_area,
+                r.delay_overhead_percent,
+                r.paper_delay,
+            )
+            for r in rows
+        ],
+        title="Table I — HD, area and delay overhead (OraP + WLL)",
+    )
+    print(text)
+    return text
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Command-line entry point."""
+    print_table1(run_table1())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,36 @@
+"""Combinational logic-locking schemes: RLL/EPIC, fault-analysis (FLL),
+weighted logic locking (WLL, the paper's companion scheme), and the
+SAT-resistant baselines SARLock / Anti-SAT / TTLock / SFLL-HD."""
+
+from .base import (
+    LockedCircuit,
+    LockingError,
+    insert_key_gate,
+    make_key_inputs,
+    random_key,
+)
+from .rll import lock_random
+from .fll import lock_fault_analysis, rank_nets_by_fault_impact
+from .wll import WLLConfig, lock_weighted
+from .sarlock import lock_sarlock
+from .antisat import lock_antisat
+from .ttlock import lock_ttlock
+from .cyclic import induced_acyclic_netlist, lock_cyclic
+
+__all__ = [
+    "LockedCircuit",
+    "LockingError",
+    "insert_key_gate",
+    "make_key_inputs",
+    "random_key",
+    "lock_random",
+    "lock_fault_analysis",
+    "rank_nets_by_fault_impact",
+    "WLLConfig",
+    "lock_weighted",
+    "lock_sarlock",
+    "lock_antisat",
+    "lock_ttlock",
+    "induced_acyclic_netlist",
+    "lock_cyclic",
+]

@@ -1,0 +1,95 @@
+"""Anti-SAT [8]: SAT resistance via a complementary AND-tree block.
+
+The Anti-SAT block computes::
+
+    Y = g(X XOR K1)  AND  NOT g(X XOR K2)      with g = AND
+
+and XORs ``Y`` into a chosen internal net.  For any key with ``K1 == K2``
+the two halves are complementary and ``Y`` is constant 0 (circuit intact);
+for ``K1 != K2`` the block outputs 1 on very few patterns, so every SAT
+iteration removes few keys (exponential iterations) — but corruptibility is
+tiny, the deficiency the paper contrasts OraP+WLL against.
+
+The signal-probability skew of ``Y`` (p(1) ~ 2^-n) is exactly what the SPS
+attack [9] exploits; :mod:`repro.attacks.sps` reproduces that.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist import GateType, Netlist
+from .base import LockedCircuit, LockingError, _as_rng, make_key_inputs
+
+
+def lock_antisat(
+    netlist: Netlist,
+    half_width: int | None = None,
+    target_net: str | None = None,
+    rng: random.Random | int | None = 0,
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Apply an Anti-SAT block of ``2 * half_width`` key bits.
+
+    Args:
+        half_width: width n of each key half (default min(#inputs, 12)).
+        target_net: internal net to XOR the block output into
+            (default: the first primary output).
+    """
+    original = netlist.copy()
+    locked = netlist.copy(f"{netlist.name}_antisat")
+    data_inputs = locked.inputs
+    if not data_inputs:
+        raise LockingError("circuit has no inputs")
+    if half_width is None:
+        half_width = min(len(data_inputs), 12)
+    if half_width > len(data_inputs):
+        raise LockingError(
+            f"half_width {half_width} exceeds input count {len(data_inputs)}"
+        )
+    rng = _as_rng(rng)
+    target = target_net or locked.outputs[0]
+    if not locked.has_net(target) or locked.gate(target).gtype.is_source:
+        raise LockingError(f"invalid Anti-SAT target net {target!r}")
+
+    key_inputs = make_key_inputs(locked, 2 * half_width, key_prefix)
+    k1 = key_inputs[:half_width]
+    k2 = key_inputs[half_width:]
+    # correct keys: K1 == K2 (any shared value); sample one at random
+    shared = [rng.randrange(2) for _ in range(half_width)]
+    correct = {}
+    for k, b in zip(k1, shared):
+        correct[k] = b
+    for k, b in zip(k2, shared):
+        correct[k] = b
+
+    taps = data_inputs[:half_width]
+    x1_nets, x2_nets = [], []
+    for i, (x, ka, kb) in enumerate(zip(taps, k1, k2)):
+        a = locked.fresh_name(f"as_x1_{i}_")
+        locked.add_gate(a, GateType.XOR, (x, ka))
+        x1_nets.append(a)
+        b = locked.fresh_name(f"as_x2_{i}_")
+        locked.add_gate(b, GateType.XOR, (x, kb))
+        x2_nets.append(b)
+    g1 = locked.fresh_name("as_g_")
+    locked.add_gate(g1, GateType.AND, tuple(x1_nets))
+    g2 = locked.fresh_name("as_gbar_")
+    locked.add_gate(g2, GateType.NAND, tuple(x2_nets))
+    y = locked.fresh_name("as_y_")
+    locked.add_gate(y, GateType.AND, (g1, g2))
+
+    moved = locked.fresh_name(f"{target}_pre_as_")
+    g = locked.gate(target)
+    locked.add_gate(moved, g.gtype, g.fanin)
+    locked.replace_gate(target, GateType.XOR, (moved, y))
+
+    return LockedCircuit(
+        locked=locked,
+        key_inputs=key_inputs,
+        correct_key=correct,
+        original=original,
+        scheme="antisat",
+        key_gate_nets=[target],
+        extra={"y_net": y, "half_width": half_width, "target": target},
+    )

@@ -1,0 +1,156 @@
+"""Common API for combinational logic-locking schemes.
+
+Every scheme consumes an original netlist and produces a
+:class:`LockedCircuit`: the locked netlist with extra key inputs, the
+correct key, and bookkeeping (which nets are key-gate outputs) needed by
+attack and threat analyses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..netlist import Netlist
+
+
+class LockingError(ValueError):
+    """Raised when a scheme cannot be applied (e.g. too few lockable nets)."""
+
+
+@dataclass
+class LockedCircuit:
+    """Result of applying a locking scheme.
+
+    Attributes:
+        locked: netlist with key inputs added (key inputs appear in
+            ``locked.inputs``; data inputs keep their original names).
+        key_inputs: key input names, in key-bit order (bit 0 first).
+        correct_key: the unlocking assignment over ``key_inputs``.
+        original: the pre-locking netlist (attacker does NOT get this).
+        scheme: scheme identifier string.
+        key_gate_nets: outputs of inserted key gates (XOR/XNOR or
+            restore-unit outputs), for removal/bypass analyses.
+        extra: scheme-specific metadata.
+    """
+
+    locked: Netlist
+    key_inputs: list[str]
+    correct_key: dict[str, int]
+    original: Netlist
+    scheme: str
+    key_gate_nets: list[str] = field(default_factory=list)
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key_width(self) -> int:
+        """Number of key inputs."""
+        return len(self.key_inputs)
+
+    @property
+    def data_inputs(self) -> list[str]:
+        """Non-key inputs of the locked netlist, in input order."""
+        keys = set(self.key_inputs)
+        return [i for i in self.locked.inputs if i not in keys]
+
+    def key_vector(self) -> tuple[int, ...]:
+        """Correct key as a bit tuple in ``key_inputs`` order."""
+        return tuple(self.correct_key[k] for k in self.key_inputs)
+
+    def key_as_int(self) -> int:
+        """Correct key packed little-endian (bit 0 = key_inputs[0])."""
+        value = 0
+        for i, k in enumerate(self.key_inputs):
+            if self.correct_key[k]:
+                value |= 1 << i
+        return value
+
+    def apply_key(self, key: Mapping[str, int] | Sequence[int]) -> Netlist:
+        """Return a keyless netlist with the given key hardwired.
+
+        Accepts either a name->bit mapping or a bit sequence in
+        ``key_inputs`` order.
+        """
+        if not isinstance(key, Mapping):
+            if len(key) != len(self.key_inputs):
+                raise LockingError(
+                    f"key length {len(key)} != {len(self.key_inputs)}"
+                )
+            key = {k: int(b) for k, b in zip(self.key_inputs, key)}
+        fixed = self.locked.copy(f"{self.locked.name}_keyed")
+        from ..netlist import GateType
+
+        for k in self.key_inputs:
+            bit = int(bool(key[k]))
+            fixed.replace_gate(
+                k, GateType.CONST1 if bit else GateType.CONST0, ()
+            )
+        return fixed
+
+    def random_wrong_key(self, rng: random.Random | int | None = None) -> dict[str, int]:
+        """A uniformly random key guaranteed to differ from the correct one."""
+        rng = _as_rng(rng)
+        correct = self.key_vector()
+        while True:
+            vec = tuple(rng.randrange(2) for _ in self.key_inputs)
+            if vec != correct:
+                return {k: v for k, v in zip(self.key_inputs, vec)}
+
+
+def _as_rng(rng: random.Random | int | None) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def make_key_inputs(
+    netlist: Netlist, count: int, prefix: str = "keyinput"
+) -> list[str]:
+    """Add ``count`` key-input nets to a netlist, avoiding name clashes."""
+    names: list[str] = []
+    for i in range(count):
+        name = f"{prefix}{i}"
+        while netlist.has_net(name):
+            name = f"{prefix}{i}_{len(names)}x"
+        netlist.add_input(name)
+        names.append(name)
+    return names
+
+
+def random_key(key_inputs: Sequence[str], rng: random.Random | int | None = None) -> dict[str, int]:
+    """Uniformly random assignment over the key inputs."""
+    rng = _as_rng(rng)
+    return {k: rng.randrange(2) for k in key_inputs}
+
+
+def insert_key_gate(
+    netlist: Netlist,
+    target_net: str,
+    control_net: str,
+    inverted: bool,
+    tag: str,
+) -> str:
+    """Insert an XOR (or XNOR) key gate on ``target_net``.
+
+    The original driver of ``target_net`` is moved onto a fresh net and the
+    key gate drives ``target_net`` so that all fanout (and output status) is
+    preserved.  ``inverted`` selects XNOR; the caller is responsible for
+    choosing ``control_net``'s correct-key polarity accordingly (XOR needs
+    0 to pass through, XNOR needs 1).
+
+    Returns the name of the net now carrying the original function.
+    """
+    from ..netlist import GateType
+
+    moved = netlist.fresh_name(f"{target_net}_pre_{tag}_")
+    g = netlist.gate(target_net)
+    if g.gtype is GateType.INPUT:
+        raise LockingError(f"cannot place a key gate on primary input {target_net!r}")
+    netlist.add_gate(moved, g.gtype, g.fanin)
+    netlist.replace_gate(
+        target_net,
+        GateType.XNOR if inverted else GateType.XOR,
+        (moved, control_net),
+    )
+    return moved

@@ -1,0 +1,139 @@
+"""Cyclic logic locking (Shamsi et al. [14]).
+
+Cyclic locking inserts keyed MUXes whose wrong-key side closes a
+combinational loop.  The plain SAT attack assumes an acyclic netlist (its
+encoder needs a topological order), so the locked circuit is
+"SAT-unresolvable" as shipped — until CycSAT [15] adds *no-cycle*
+conditions and breaks it.  Both sides of that exchange (which the paper's
+introduction recounts) are implemented here; see
+:mod:`repro.attacks.cycsat`.
+
+Construction: for each inserted feedback, an existing gate input edge
+``src -> g`` is rerouted through ``MUX(sel, src, fb)`` where ``fb`` is a
+net in ``g``'s transitive fan-out — selecting ``fb`` creates a structural
+cycle through ``g``.  Each MUX select is driven by one key input whose
+correct value picks ``src``; select polarity is randomized so the correct
+key is a uniform secret.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist import GateType, Netlist
+from .base import (
+    LockedCircuit,
+    LockingError,
+    _as_rng,
+    make_key_inputs,
+)
+
+
+def lock_cyclic(
+    netlist: Netlist,
+    n_feedbacks: int,
+    rng: random.Random | int | None = 0,
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Apply cyclic locking with ``n_feedbacks`` keyed feedback MUXes.
+
+    The returned locked netlist has ``allow_cycles=True``: it is only a
+    DAG under correct (cycle-free) keys.  ``extra`` records the MUX
+    structure CycSAT's pre-analysis consumes:
+    ``feedback_muxes: list of (mux_net, select_key, fb_value)`` where
+    ``fb_value`` is the select value that activates the feedback edge.
+    """
+    rng = _as_rng(rng)
+    original = netlist.copy()
+    locked = netlist.copy(f"{netlist.name}_cyclic")
+    locked.allow_cycles = True
+
+    # candidate edges: (gate g, pin index) whose source is an internal net
+    fanout = locked.fanout_map()
+    candidates: list[tuple[str, int]] = []
+    for g in locked.gates():
+        if g.gtype.is_source:
+            continue
+        for pin, src in enumerate(g.fanin):
+            if not locked.gate(src).gtype.is_source:
+                candidates.append((g.name, pin))
+    rng.shuffle(candidates)
+
+    key_inputs = make_key_inputs(locked, n_feedbacks, key_prefix)
+    correct: dict[str, int] = {}
+    muxes: list[tuple[str, str, int]] = []
+    used_gates: set[str] = set()
+    ki = 0
+    for gate_name, pin in candidates:
+        if ki >= n_feedbacks:
+            break
+        if gate_name in used_gates:
+            continue
+        # feedback source: a net strictly downstream of the gate
+        downstream = sorted(
+            locked.transitive_fanout([gate_name]) - {gate_name}
+        )
+        downstream = [
+            d for d in downstream if not locked.gate(d).gtype.is_source
+        ]
+        if not downstream:
+            continue
+        fb = rng.choice(downstream)
+        g = locked.gate(gate_name)
+        src = g.fanin[pin]
+        key = key_inputs[ki]
+        # randomize polarity: fb_value = select value that picks feedback
+        fb_value = rng.randrange(2)
+        correct[key] = 1 - fb_value
+        mux = locked.fresh_name(f"cyc_mux{ki}_")
+        if fb_value == 1:
+            locked.add_gate(mux, GateType.MUX, (key, src, fb))
+        else:
+            locked.add_gate(mux, GateType.MUX, (key, fb, src))
+        fanin = list(g.fanin)
+        fanin[pin] = mux
+        locked.replace_gate(gate_name, g.gtype, tuple(fanin))
+        muxes.append((mux, key, fb_value))
+        used_gates.add(gate_name)
+        ki += 1
+    if ki < n_feedbacks:
+        raise LockingError(
+            f"could only place {ki} of {n_feedbacks} feedback MUXes"
+        )
+    return LockedCircuit(
+        locked=locked,
+        key_inputs=key_inputs,
+        correct_key=correct,
+        original=original,
+        scheme="cyclic",
+        key_gate_nets=[m for m, _, _ in muxes],
+        extra={"feedback_muxes": muxes},
+    )
+
+
+def induced_acyclic_netlist(
+    locked: Netlist, key: dict[str, int], feedback_muxes
+) -> Netlist | None:
+    """Resolve the keyed MUXes under ``key``; None if a cycle survives.
+
+    This is the ground-truth semantics of a cyclically locked circuit: a
+    key is *valid* only if every structural loop is broken, in which case
+    the circuit is an ordinary DAG.
+    """
+    resolved = locked.copy(f"{locked.name}_keyed")
+    for mux, sel_key, fb_value in feedback_muxes:
+        g = resolved.gate(mux)
+        _, d0, d1 = g.fanin
+        chosen = d1 if key[sel_key] else d0
+        resolved.replace_gate(mux, GateType.BUF, (chosen,))
+    for k in key:
+        resolved.replace_gate(
+            k, GateType.CONST1 if key[k] else GateType.CONST0, ()
+        )
+    resolved.allow_cycles = False
+    resolved._invalidate()
+    try:
+        resolved.topological_order()
+    except Exception:
+        return None
+    return resolved

@@ -1,0 +1,64 @@
+"""Random logic locking (RLL / EPIC [2]).
+
+One XOR/XNOR key gate per key bit, inserted on randomly chosen internal
+nets.  The classic pre-SAT baseline: every oracle-based attack in
+:mod:`repro.attacks` defeats it quickly, which is exactly the role it plays
+in the attack-matrix experiment (E3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist import Netlist
+from .base import (
+    LockedCircuit,
+    LockingError,
+    _as_rng,
+    insert_key_gate,
+    make_key_inputs,
+)
+
+
+def lock_random(
+    netlist: Netlist,
+    key_width: int,
+    rng: random.Random | int | None = 0,
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Apply RLL with ``key_width`` XOR/XNOR key gates.
+
+    Each key gate is driven directly by one key input.  The correct key bit
+    is 0 for an XOR gate and 1 for an XNOR gate (pass-through values);
+    gate flavours are chosen uniformly so the key is a uniform secret.
+    """
+    rng = _as_rng(rng)
+    original = netlist.copy()
+    locked = netlist.copy(f"{netlist.name}_rll")
+    candidates = [
+        n
+        for n in locked.nets
+        if not locked.gate(n).gtype.is_source
+    ]
+    if len(candidates) < key_width:
+        raise LockingError(
+            f"need {key_width} lockable nets, circuit has {len(candidates)}"
+        )
+    targets = rng.sample(candidates, key_width)
+    key_inputs = make_key_inputs(locked, key_width, key_prefix)
+    correct: dict[str, int] = {}
+    key_gates: list[str] = []
+    for key_in, target in zip(key_inputs, targets):
+        inverted = bool(rng.randrange(2))
+        insert_key_gate(locked, target, key_in, inverted, tag="rll")
+        correct[key_in] = 1 if inverted else 0
+        key_gates.append(target)
+    return LockedCircuit(
+        locked=locked,
+        key_inputs=key_inputs,
+        correct_key=correct,
+        original=original,
+        scheme="rll",
+        key_gate_nets=key_gates,
+        extra={"targets": targets},
+    )

@@ -1,0 +1,108 @@
+"""SARLock [7]: SAT-attack-resistant locking via one-point flipping.
+
+SARLock appends a comparator block that flips a protected output when the
+data input equals the key value, masked so the correct key never flips::
+
+    flip = (X == K) AND (K != K*)
+    Y    = F(X) XOR flip
+
+Each wrong key corrupts exactly one input pattern, so every SAT-attack DIP
+eliminates only one wrong key — the attack needs ~2^n iterations.  The
+flip side (and the reason the paper pairs OraP with WLL instead) is the
+very low output corruptibility this implies.
+
+The ``(K != K*)`` mask is realized structurally with the standard trick:
+the comparator compares ``X`` against ``K`` bitwise, and the mask is a
+fixed comparison of ``K`` against the hardwired correct value.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist import GateType, Netlist
+from .base import LockedCircuit, LockingError, _as_rng, make_key_inputs
+
+
+def lock_sarlock(
+    netlist: Netlist,
+    key_width: int | None = None,
+    protected_output: str | None = None,
+    rng: random.Random | int | None = 0,
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Apply SARLock to one primary output.
+
+    Args:
+        netlist: circuit to lock.
+        key_width: comparator width; defaults to ``min(#inputs, 16)``.
+            The first ``key_width`` data inputs feed the comparator.
+        protected_output: output to protect (default: first output).
+    """
+    if not netlist.outputs:
+        raise LockingError("circuit has no outputs")
+    original = netlist.copy()
+    locked = netlist.copy(f"{netlist.name}_sarlock")
+    data_inputs = locked.inputs
+    if not data_inputs:
+        raise LockingError("circuit has no inputs")
+    if key_width is None:
+        key_width = min(len(data_inputs), 16)
+    if key_width > len(data_inputs):
+        raise LockingError(
+            f"key_width {key_width} exceeds input count {len(data_inputs)}"
+        )
+    rng = _as_rng(rng)
+    out = protected_output or locked.outputs[0]
+    if out not in locked.outputs:
+        raise LockingError(f"{out!r} is not a primary output")
+
+    key_inputs = make_key_inputs(locked, key_width, key_prefix)
+    correct = {k: rng.randrange(2) for k in key_inputs}
+    compared = data_inputs[:key_width]
+
+    # eq_i = XNOR(x_i, k_i);  match = AND(eq_*)
+    eq_nets: list[str] = []
+    for i, (x, k) in enumerate(zip(compared, key_inputs)):
+        eq = locked.fresh_name(f"sar_eq{i}_")
+        locked.add_gate(eq, GateType.XNOR, (x, k))
+        eq_nets.append(eq)
+    match = locked.fresh_name("sar_match_")
+    locked.add_gate(match, GateType.AND, tuple(eq_nets))
+
+    # wrong = NOT(AND over (k_i == correct_i)): 0 only for the correct key
+    ceq_nets: list[str] = []
+    for i, k in enumerate(key_inputs):
+        ceq = locked.fresh_name(f"sar_ceq{i}_")
+        if correct[k] == 1:
+            locked.add_gate(ceq, GateType.BUF, (k,))
+        else:
+            locked.add_gate(ceq, GateType.NOT, (k,))
+        ceq_nets.append(ceq)
+    wrong = locked.fresh_name("sar_wrong_")
+    locked.add_gate(wrong, GateType.NAND, tuple(ceq_nets))
+
+    flip = locked.fresh_name("sar_flip_")
+    locked.add_gate(flip, GateType.AND, (match, wrong))
+
+    moved = locked.fresh_name(f"{out}_pre_sar_")
+    g = locked.gate(out)
+    if g.gtype is GateType.INPUT:
+        raise LockingError("cannot protect an output driven directly by an input")
+    locked.add_gate(moved, g.gtype, g.fanin)
+    locked.replace_gate(out, GateType.XOR, (moved, flip))
+
+    return LockedCircuit(
+        locked=locked,
+        key_inputs=key_inputs,
+        correct_key=correct,
+        original=original,
+        scheme="sarlock",
+        key_gate_nets=[out],
+        extra={
+            "protected_output": out,
+            "compared_inputs": compared,
+            "flip_net": flip,
+            "match_net": match,
+        },
+    )

@@ -1,0 +1,162 @@
+"""TTLock [16] and SFLL-HD [17]: stripped-functionality locking.
+
+TTLock strips one protected input cube from the circuit and restores it
+with a key-programmable unit::
+
+    F_stripped(X) = F(X) XOR (X == C)          # C: secret cube, hardwired
+    Y(X, K)       = F_stripped(X) XOR (X == K)
+
+With ``K == C`` the two flips cancel everywhere.  SFLL-HD(h) generalizes
+the comparator to ``HD(X, K) == h`` (a popcount-equality check), flipping
+``C(n, h)`` cubes.  These are the schemes FALL [18] targets (cube stripping
++ programmable restore), which the paper cites when noting OraP does *not*
+have that structure — reproduced here to make the attack matrix complete.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..netlist import GateType, Netlist
+from .base import LockedCircuit, LockingError, _as_rng, make_key_inputs
+
+
+def _equality_comparator(
+    netlist: Netlist, a: Sequence[str], b_bits: Sequence[int], tag: str
+) -> str:
+    """Net that is 1 iff nets ``a`` equal the constant vector ``b_bits``."""
+    terms: list[str] = []
+    for i, (net, bit) in enumerate(zip(a, b_bits)):
+        t = netlist.fresh_name(f"{tag}_cmp{i}_")
+        netlist.add_gate(t, GateType.BUF if bit else GateType.NOT, (net,))
+        terms.append(t)
+    out = netlist.fresh_name(f"{tag}_eq_")
+    netlist.add_gate(out, GateType.AND, tuple(terms))
+    return out
+
+
+def _match_comparator(
+    netlist: Netlist, a: Sequence[str], b: Sequence[str], tag: str
+) -> str:
+    """Net that is 1 iff net vectors ``a`` and ``b`` are equal."""
+    terms: list[str] = []
+    for i, (x, y) in enumerate(zip(a, b)):
+        t = netlist.fresh_name(f"{tag}_xn{i}_")
+        netlist.add_gate(t, GateType.XNOR, (x, y))
+        terms.append(t)
+    out = netlist.fresh_name(f"{tag}_eq_")
+    netlist.add_gate(out, GateType.AND, tuple(terms))
+    return out
+
+
+def _hd_comparator(
+    netlist: Netlist, a: Sequence[str], b: Sequence[str], h: int, tag: str
+) -> str:
+    """Net that is 1 iff Hamming distance between ``a`` and ``b`` equals h.
+
+    Built as XOR bit-differences followed by a ripple popcount (half/full
+    adders from XOR/AND/OR gates) and an equality check against ``h``.
+    """
+    diffs: list[str] = []
+    for i, (x, y) in enumerate(zip(a, b)):
+        d = netlist.fresh_name(f"{tag}_d{i}_")
+        netlist.add_gate(d, GateType.XOR, (x, y))
+        diffs.append(d)
+    # ripple popcount: fold bits into a binary counter of width ceil(log2(n+1))
+    width = max(1, (len(diffs)).bit_length())
+    zero = netlist.fresh_name(f"{tag}_zero_")
+    netlist.add_gate(zero, GateType.CONST0, ())
+    acc: list[str] = [zero] * width
+    for bi, d in enumerate(diffs):
+        carry = d
+        new_acc: list[str] = []
+        for wi in range(width):
+            s = netlist.fresh_name(f"{tag}_s{bi}_{wi}_")
+            netlist.add_gate(s, GateType.XOR, (acc[wi], carry))
+            c = netlist.fresh_name(f"{tag}_c{bi}_{wi}_")
+            netlist.add_gate(c, GateType.AND, (acc[wi], carry))
+            new_acc.append(s)
+            carry = c
+        acc = new_acc
+    target_bits = [(h >> i) & 1 for i in range(width)]
+    return _equality_comparator(netlist, acc, target_bits, f"{tag}_hd")
+
+
+def lock_ttlock(
+    netlist: Netlist,
+    key_width: int | None = None,
+    protected_output: str | None = None,
+    rng: random.Random | int | None = 0,
+    key_prefix: str = "keyinput",
+    hd: int = 0,
+) -> LockedCircuit:
+    """Apply TTLock (``hd == 0``) or SFLL-HD(h) to one output.
+
+    Args:
+        key_width: comparator width (default min(#inputs, 16)).
+        protected_output: output to strip/restore (default first).
+        hd: Hamming-distance parameter h; 0 reproduces TTLock.
+    """
+    if not netlist.outputs:
+        raise LockingError("circuit has no outputs")
+    original = netlist.copy()
+    locked = netlist.copy(f"{netlist.name}_ttlock" if hd == 0 else f"{netlist.name}_sfll{hd}")
+    data_inputs = locked.inputs
+    if key_width is None:
+        key_width = min(len(data_inputs), 16)
+    if key_width > len(data_inputs):
+        raise LockingError(
+            f"key_width {key_width} exceeds input count {len(data_inputs)}"
+        )
+    if not 0 <= hd <= key_width:
+        raise LockingError(f"hd must be in [0, {key_width}]")
+    rng = _as_rng(rng)
+    out = protected_output or locked.outputs[0]
+    if out not in locked.outputs:
+        raise LockingError(f"{out!r} is not a primary output")
+    compared = data_inputs[:key_width]
+    secret = [rng.randrange(2) for _ in range(key_width)]
+
+    # functionality-stripped circuit: F XOR strip(X)
+    if hd == 0:
+        strip = _equality_comparator(locked, compared, secret, "tt_strip")
+    else:
+        consts: list[str] = []
+        for i, bit in enumerate(secret):
+            c = locked.fresh_name(f"tt_sc{i}_")
+            locked.add_gate(c, GateType.CONST1 if bit else GateType.CONST0, ())
+            consts.append(c)
+        strip = _hd_comparator(locked, compared, consts, hd, "tt_strip")
+    key_inputs = make_key_inputs(locked, key_width, key_prefix)
+    correct = {k: b for k, b in zip(key_inputs, secret)}
+    if hd == 0:
+        restore = _match_comparator(locked, compared, key_inputs, "tt_rest")
+    else:
+        restore = _hd_comparator(locked, compared, key_inputs, hd, "tt_rest")
+
+    both = locked.fresh_name("tt_flip_")
+    locked.add_gate(both, GateType.XOR, (strip, restore))
+    moved = locked.fresh_name(f"{out}_pre_tt_")
+    g = locked.gate(out)
+    if g.gtype is GateType.INPUT:
+        raise LockingError("cannot protect an output driven directly by an input")
+    locked.add_gate(moved, g.gtype, g.fanin)
+    locked.replace_gate(out, GateType.XOR, (moved, both))
+
+    return LockedCircuit(
+        locked=locked,
+        key_inputs=key_inputs,
+        correct_key=correct,
+        original=original,
+        scheme="ttlock" if hd == 0 else f"sfll_hd{hd}",
+        key_gate_nets=[out],
+        extra={
+            "protected_output": out,
+            "compared_inputs": compared,
+            "secret_cube": tuple(secret),
+            "hd": hd,
+            "strip_net": strip,
+            "restore_net": restore,
+        },
+    )

@@ -1,0 +1,63 @@
+"""Gate-level netlist IR: gates, combinational netlists, sequential/scan
+circuits, BENCH and Verilog I/O, structural analyses."""
+
+from .gates import (
+    Gate,
+    GateType,
+    controlled_response,
+    controlling_value,
+    evaluate_gate,
+)
+from .netlist import Netlist, NetlistError
+from .sequential import FlipFlop, ScanChain, SequentialCircuit
+from .bench_io import (
+    load_bench,
+    parse_bench,
+    parse_bench_combinational,
+    save_bench,
+    write_bench,
+)
+from .verilog_io import save_verilog, write_verilog
+from .verilog_reader import load_verilog, parse_verilog
+from .analysis import (
+    cone_inputs,
+    critical_path,
+    fanout_counts,
+    nets_on_critical_paths,
+    observability_depths,
+    output_cone,
+    probability_skew,
+    select_high_impact_nets,
+    signal_probabilities,
+)
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistError",
+    "FlipFlop",
+    "ScanChain",
+    "SequentialCircuit",
+    "controlled_response",
+    "controlling_value",
+    "evaluate_gate",
+    "load_bench",
+    "parse_bench",
+    "parse_bench_combinational",
+    "save_bench",
+    "write_bench",
+    "save_verilog",
+    "load_verilog",
+    "parse_verilog",
+    "write_verilog",
+    "cone_inputs",
+    "critical_path",
+    "fanout_counts",
+    "nets_on_critical_paths",
+    "observability_depths",
+    "output_cone",
+    "probability_skew",
+    "select_high_impact_nets",
+    "signal_probabilities",
+]

@@ -1,0 +1,164 @@
+"""Structural analyses over netlists: cones, paths, signal probabilities.
+
+Signal-probability estimation is used by the SPS attack reproduction
+(:mod:`repro.attacks.sps`) and by locking-point selection heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .gates import GateType
+from .netlist import Netlist
+
+
+def output_cone(netlist: Netlist, output: str) -> set[str]:
+    """All nets in the transitive fan-in of one output (inclusive)."""
+    return netlist.transitive_fanin([output])
+
+
+def cone_inputs(netlist: Netlist, output: str) -> list[str]:
+    """Primary inputs feeding one output's cone, in input order."""
+    cone = output_cone(netlist, output)
+    return [i for i in netlist.inputs if i in cone]
+
+
+def critical_path(netlist: Netlist) -> list[str]:
+    """One maximum-level path from an input to the deepest output.
+
+    Returned as a list of net names from source to sink.  Used by Table I's
+    delay-overhead analysis (a key gate on the critical path shows up as
+    delay overhead; off-path insertion yields the paper's 0% rows).
+    """
+    levels = netlist.levels()
+    if not netlist.outputs:
+        return []
+    sink = max(netlist.outputs, key=lambda o: levels[o])
+    path = [sink]
+    cur = sink
+    while True:
+        g = netlist.gate(cur)
+        if g.gtype.is_source:
+            break
+        cur = max(g.fanin, key=lambda f: levels[f])
+        path.append(cur)
+    path.reverse()
+    return path
+
+
+def nets_on_critical_paths(netlist: Netlist) -> set[str]:
+    """All nets lying on some maximum-depth input-to-output path."""
+    levels = netlist.levels()
+    depth = netlist.depth()
+    # slack-0 computation: required time = depth at the deepest outputs
+    required: dict[str, int] = {}
+    for o in netlist.outputs:
+        if levels[o] == depth:
+            required[o] = depth
+    order = netlist.topological_order()
+    for n in reversed(order):
+        if n not in required:
+            continue
+        g = netlist.gate(n)
+        for f in g.fanin:
+            if levels[f] == required[n] - 1:
+                req = required[n] - 1
+                if required.get(f, -1) < req:
+                    required[f] = req
+    return {n for n, r in required.items() if levels[n] == r}
+
+
+def signal_probabilities(
+    netlist: Netlist, input_probs: Mapping[str, float] | None = None
+) -> dict[str, float]:
+    """Topological (correlation-free) signal-probability estimates.
+
+    Each net's probability of being 1 is computed from its fan-in
+    probabilities assuming independence — the standard approximation used
+    by the SPS attack [9] to find probability-skewed nets.
+    """
+    probs: dict[str, float] = {}
+    for n in netlist.topological_order():
+        g = netlist.gate(n)
+        if g.gtype is GateType.INPUT:
+            probs[n] = (input_probs or {}).get(n, 0.5)
+        elif g.gtype is GateType.CONST0:
+            probs[n] = 0.0
+        elif g.gtype is GateType.CONST1:
+            probs[n] = 1.0
+        elif g.gtype is GateType.BUF:
+            probs[n] = probs[g.fanin[0]]
+        elif g.gtype is GateType.NOT:
+            probs[n] = 1.0 - probs[g.fanin[0]]
+        elif g.gtype in (GateType.AND, GateType.NAND):
+            p = 1.0
+            for f in g.fanin:
+                p *= probs[f]
+            probs[n] = 1.0 - p if g.gtype is GateType.NAND else p
+        elif g.gtype in (GateType.OR, GateType.NOR):
+            p = 1.0
+            for f in g.fanin:
+                p *= 1.0 - probs[f]
+            probs[n] = p if g.gtype is GateType.NOR else 1.0 - p
+        elif g.gtype in (GateType.XOR, GateType.XNOR):
+            p = 0.0
+            for f in g.fanin:
+                q = probs[f]
+                p = p * (1.0 - q) + (1.0 - p) * q
+            probs[n] = 1.0 - p if g.gtype is GateType.XNOR else p
+        elif g.gtype is GateType.MUX:
+            s, d0, d1 = (probs[f] for f in g.fanin)
+            probs[n] = (1.0 - s) * d0 + s * d1
+        else:  # pragma: no cover - exhaustive above
+            raise AssertionError(g.gtype)
+    return probs
+
+
+def probability_skew(prob: float) -> float:
+    """SPS skew metric: |p - 0.5|, in [0, 0.5]."""
+    return abs(prob - 0.5)
+
+
+def fanout_counts(netlist: Netlist) -> dict[str, int]:
+    """Map net -> number of gates it feeds."""
+    fan = netlist.fanout_map()
+    return {n: len(v) for n, v in fan.items()}
+
+
+def observability_depths(netlist: Netlist) -> dict[str, int]:
+    """Minimum number of gate levels from each net to any primary output.
+
+    A cheap observability proxy used by locking-point selection: nets close
+    to outputs corrupt outputs with fewer masking opportunities.
+    """
+    fan = netlist.fanout_map()
+    INF = 10**9
+    depth = {n: INF for n in netlist.nets}
+    for o in netlist.outputs:
+        depth[o] = 0
+    for n in reversed(netlist.topological_order()):
+        for succ in fan[n]:
+            if depth[succ] + 1 < depth[n]:
+                depth[n] = depth[succ] + 1
+    return depth
+
+
+def select_high_impact_nets(
+    netlist: Netlist, count: int, exclude: Iterable[str] = ()
+) -> list[str]:
+    """Pick ``count`` internal nets ranked by a fault-impact heuristic.
+
+    Ranking combines fanout (controllability of many cones) with inverse
+    observability depth, approximating the fault-analysis ranking of
+    fault-analysis-based locking [3] without a full fault simulation.
+    """
+    excluded = set(exclude) | set(netlist.inputs)
+    fo = fanout_counts(netlist)
+    ob = observability_depths(netlist)
+    candidates = [
+        n
+        for n in netlist.nets
+        if n not in excluded and not netlist.gate(n).gtype.is_source
+    ]
+    candidates.sort(key=lambda n: (-(fo[n] + 1) / (ob[n] + 1), n))
+    return candidates[:count]

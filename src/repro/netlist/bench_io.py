@@ -1,0 +1,120 @@
+"""Reader/writer for the ISCAS/ITC BENCH netlist format.
+
+The BENCH dialect accepted here is the one used by the ISCAS'85/'89 and
+ITC'99 distributions::
+
+    # comment
+    INPUT(a)
+    OUTPUT(y)
+    g1 = NAND(a, b)
+    q  = DFF(d)
+
+``DFF`` lines produce a :class:`~repro.netlist.sequential.SequentialCircuit`
+whose combinational core treats each DFF output as a pseudo-primary input
+and each DFF data net as a pseudo-primary output (standard full-scan view).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .gates import BENCH_TYPES
+from .netlist import Netlist, NetlistError
+from .sequential import FlipFlop, SequentialCircuit
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<lhs>[\w.\[\]$/]+)\s*=\s*(?P<op>\w+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[\w.\[\]$/]+)\)\s*$")
+
+
+def parse_bench(text: str, name: str = "bench") -> SequentialCircuit:
+    """Parse BENCH text into a sequential circuit (flop list may be empty).
+
+    For a purely combinational file the result has no flip-flops and
+    ``result.core`` is the whole circuit.
+    """
+    core = Netlist(name)
+    outputs: list[str] = []
+    flops: list[tuple[str, str]] = []  # (q, d)
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io = _IO_RE.match(line)
+        if io:
+            if io.group("kind") == "INPUT":
+                core.add_input(io.group("name"))
+            else:
+                outputs.append(io.group("name"))
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise NetlistError(f"unparseable BENCH line: {raw!r}")
+        lhs = m.group("lhs")
+        op = m.group("op").upper()
+        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        if op == "DFF":
+            if len(args) != 1:
+                raise NetlistError(f"DFF {lhs!r} must have exactly one input")
+            flops.append((lhs, args[0]))
+            core.add_input(lhs)  # Q net is a pseudo-primary input of the core
+        elif op in BENCH_TYPES:
+            core.add_gate(lhs, BENCH_TYPES[op], args)
+        else:
+            raise NetlistError(f"unknown BENCH gate type {op!r}")
+    core.set_outputs(outputs + [d for _, d in flops])
+    circuit = SequentialCircuit(core, name=name)
+    for i, (q, d) in enumerate(flops):
+        circuit.add_flop(FlipFlop(f"ff_{q}", d=d, q=q))
+    # true primary outputs were listed first; pseudo-outputs appended
+    circuit.core.set_outputs(outputs + [d for _, d in flops])
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_combinational(text: str, name: str = "bench") -> Netlist:
+    """Parse BENCH text that must be purely combinational."""
+    circuit = parse_bench(text, name)
+    if circuit.flops:
+        raise NetlistError("file contains DFFs; use parse_bench()")
+    return circuit.core
+
+
+def load_bench(path: str | Path) -> SequentialCircuit:
+    """Parse a BENCH file from disk."""
+    p = Path(path)
+    return parse_bench(p.read_text(), name=p.stem)
+
+
+def write_bench(circuit: SequentialCircuit | Netlist) -> str:
+    """Serialize a circuit to BENCH text."""
+    if isinstance(circuit, Netlist):
+        circuit = SequentialCircuit(circuit, name=circuit.name)
+    core = circuit.core
+    qs = {ff.q: ff for ff in circuit.flops}
+    ds = {ff.d for ff in circuit.flops}
+    lines = [f"# {circuit.name}"]
+    for i in core.inputs:
+        if i not in qs:
+            lines.append(f"INPUT({i})")
+    for o in core.outputs:
+        if o not in ds:
+            lines.append(f"OUTPUT({o})")
+    for ff in circuit.flops:
+        lines.append(f"{ff.q} = DFF({ff.d})")
+    for n in core.topological_order():
+        g = core.gate(n)
+        if g.gtype.is_source:
+            if g.gtype.value.startswith("const"):
+                lines.append(f"{n} = {g.gtype.value.upper()}()")
+            continue
+        op = {"not": "NOT", "buf": "BUFF"}.get(g.gtype.value, g.gtype.value.upper())
+        lines.append(f"{n} = {op}({', '.join(g.fanin)})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: SequentialCircuit | Netlist, path: str | Path) -> None:
+    """Write BENCH text to a file."""
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,253 @@
+"""Sequential circuit model: combinational core + D flip-flops + scan chains.
+
+The model follows standard scan-design practice:
+
+* The combinational core is a :class:`~repro.netlist.netlist.Netlist` whose
+  inputs are the primary inputs plus the flip-flop outputs (pseudo-primary
+  inputs) and whose outputs are the primary outputs plus the flip-flop data
+  inputs (pseudo-primary outputs).
+* Each :class:`FlipFlop` names its D net (a core output) and Q net (a core
+  input).
+* Scan chains order flip-flops from scan-in to scan-out.  In scan-shift mode
+  each flip-flop captures its predecessor's state instead of its D input.
+
+OraP-specific behaviour (key-register cells with pulse-generator clears,
+participation of LFSR cells in the chains) is layered on top of this model in
+:mod:`repro.orap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .netlist import Netlist, NetlistError
+
+
+@dataclass(frozen=True)
+class FlipFlop:
+    """A D flip-flop.
+
+    Attributes:
+        name: instance name.
+        d: name of the core net sampled on each functional clock.
+        q: name of the core input net driven by the stored state.
+    """
+
+    name: str
+    d: str
+    q: str
+
+
+@dataclass
+class ScanChain:
+    """An ordered scan chain: ``cells[0]`` is closest to scan-in."""
+
+    name: str
+    cells: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+class SequentialCircuit:
+    """A scan-testable sequential circuit.
+
+    Args:
+        core: the combinational core netlist.  Flip-flop Q nets must be core
+            inputs; D nets must be core nets (normally core outputs).
+        flops: flip-flop definitions.
+        name: circuit name.
+    """
+
+    def __init__(
+        self,
+        core: Netlist,
+        flops: Sequence[FlipFlop] = (),
+        name: str | None = None,
+    ) -> None:
+        self.name = name or core.name
+        self.core = core
+        self._flops: dict[str, FlipFlop] = {}
+        self.scan_chains: list[ScanChain] = []
+        for ff in flops:
+            self.add_flop(ff)
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add_flop(self, ff: FlipFlop) -> None:
+        """Register a flip-flop (validates its D/Q nets)."""
+        if ff.name in self._flops:
+            raise NetlistError(f"duplicate flip-flop {ff.name!r}")
+        if not self.core.has_net(ff.q):
+            raise NetlistError(f"flip-flop {ff.name!r}: Q net {ff.q!r} missing")
+        if not self.core.has_net(ff.d):
+            raise NetlistError(f"flip-flop {ff.name!r}: D net {ff.d!r} missing")
+        self._flops[ff.name] = ff
+
+    def build_scan_chains(
+        self, n_chains: int = 1, order: Sequence[str] | None = None
+    ) -> list[ScanChain]:
+        """Stitch flip-flops into ``n_chains`` balanced scan chains.
+
+        Args:
+            n_chains: number of chains.
+            order: explicit flip-flop order; defaults to insertion order.
+        """
+        names = list(order) if order is not None else list(self._flops)
+        unknown = [n for n in names if n not in self._flops]
+        if unknown:
+            raise NetlistError(f"unknown flip-flops in scan order: {unknown[:4]}")
+        if n_chains < 1:
+            raise NetlistError("n_chains must be >= 1")
+        self.scan_chains = [ScanChain(f"chain{i}") for i in range(n_chains)]
+        for i, ff in enumerate(names):
+            self.scan_chains[i % n_chains].cells.append(ff)
+        return self.scan_chains
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    @property
+    def flops(self) -> list[FlipFlop]:
+        """Flip-flops in insertion order."""
+        return list(self._flops.values())
+
+    @property
+    def flop_names(self) -> list[str]:
+        """Flip-flop names in insertion order."""
+        return list(self._flops)
+
+    def flop(self, name: str) -> FlipFlop:
+        """Look up a flip-flop by name."""
+        try:
+            return self._flops[name]
+        except KeyError:
+            raise NetlistError(f"no such flip-flop {name!r}") from None
+
+    @property
+    def primary_inputs(self) -> list[str]:
+        """Core inputs that are true chip pins (not flip-flop Q nets)."""
+        qs = {ff.q for ff in self._flops.values()}
+        return [i for i in self.core.inputs if i not in qs]
+
+    @property
+    def primary_outputs(self) -> list[str]:
+        """Core outputs that are true chip pins (not flip-flop D nets)."""
+        ds = {ff.d for ff in self._flops.values()}
+        return [o for o in self.core.outputs if o not in ds]
+
+    @property
+    def state_width(self) -> int:
+        """Number of flip-flops."""
+        return len(self._flops)
+
+    def validate(self) -> None:
+        """Raise NetlistError on structural problems."""
+        self.core.validate()
+        chained = [c for chain in self.scan_chains for c in chain.cells]
+        if self.scan_chains:
+            if sorted(chained) != sorted(self._flops):
+                raise NetlistError(
+                    "scan chains must cover every flip-flop exactly once"
+                )
+
+    # ------------------------------------------------------------------ #
+    # cycle-accurate reference semantics
+
+    def reset_state(self, value: int = 0) -> dict[str, int]:
+        """An all-``value`` flip-flop state map."""
+        return {name: value for name in self._flops}
+
+    def next_state(
+        self, state: Mapping[str, int], pi_values: Mapping[str, int]
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """One functional clock: returns ``(next_state, primary_outputs)``."""
+        assignment = dict(pi_values)
+        for name, ff in self._flops.items():
+            assignment[ff.q] = int(bool(state[name]))
+        values = self.core.evaluate(assignment)
+        nxt = {name: values[ff.d] for name, ff in self._flops.items()}
+        pouts = {o: values[o] for o in self.primary_outputs}
+        return nxt, pouts
+
+    def scan_shift(
+        self, state: Mapping[str, int], scan_in_bits: Mapping[str, int]
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """One scan-shift clock across all chains.
+
+        Args:
+            state: current flip-flop states.
+            scan_in_bits: bit entering each chain this cycle (keyed by chain
+                name; missing chains shift in 0).
+
+        Returns:
+            ``(next_state, scan_out_bits)`` where scan-out is the bit leaving
+            each chain (the last cell's previous state).
+        """
+        if not self.scan_chains:
+            raise NetlistError("no scan chains built")
+        nxt = dict(state)
+        outs: dict[str, int] = {}
+        for chain in self.scan_chains:
+            incoming = int(bool(scan_in_bits.get(chain.name, 0)))
+            prev = incoming
+            for cell in chain.cells:
+                nxt_val = prev
+                prev = state[cell]
+                nxt[cell] = nxt_val
+            outs[chain.name] = prev
+        return nxt, outs
+
+    def load_state_via_scan(
+        self, state: Mapping[str, int], target: Mapping[str, int]
+    ) -> dict[str, int]:
+        """Shift a full target state into the chains (len(chain) cycles)."""
+        if not self.scan_chains:
+            raise NetlistError("no scan chains built")
+        cur = dict(state)
+        depth = max(len(c) for c in self.scan_chains)
+        for cycle in range(depth):
+            bits: dict[str, int] = {}
+            for chain in self.scan_chains:
+                # after `depth` shifts, cell i holds the bit that entered at
+                # cycle (depth - 1 - i); shorter chains take their payload
+                # in the final len(chain) cycles
+                idx = depth - 1 - cycle
+                if 0 <= idx < len(chain.cells):
+                    bits[chain.name] = int(bool(target.get(chain.cells[idx], 0)))
+                else:
+                    bits[chain.name] = 0
+            cur, _ = self.scan_shift(cur, bits)
+        return cur
+
+    def unload_state_via_scan(
+        self, state: Mapping[str, int]
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Shift the full state out; returns ``(final_state, observed)``.
+
+        ``observed`` maps flip-flop name to the bit the tester saw for it.
+        Zeros are shifted in behind.
+        """
+        if not self.scan_chains:
+            raise NetlistError("no scan chains built")
+        cur = dict(state)
+        observed: dict[str, int] = {}
+        depth = max(len(c) for c in self.scan_chains)
+        streams: dict[str, list[int]] = {c.name: [] for c in self.scan_chains}
+        for _ in range(depth):
+            cur, outs = self.scan_shift(cur, {})
+            for cname, bit in outs.items():
+                streams[cname].append(bit)
+        for chain in self.scan_chains:
+            # first bit out is the last cell's state
+            for i, cell in enumerate(reversed(chain.cells)):
+                observed[cell] = streams[chain.name][i]
+        return cur, observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SequentialCircuit({self.name!r}, flops={len(self._flops)}, "
+            f"chains={len(self.scan_chains)})"
+        )

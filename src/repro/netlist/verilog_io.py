@@ -1,0 +1,107 @@
+"""Structural Verilog writer (gate-primitive netlists).
+
+Only a writer is provided: the reproduction's internal exchange format is
+BENCH, but downstream users frequently want a Verilog view of the locked
+design for synthesis handoff.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .gates import GateType
+from .netlist import Netlist
+from .sequential import SequentialCircuit
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _vname(name: str) -> str:
+    """Escape a net name into a legal Verilog identifier."""
+    if _ID_RE.match(name):
+        return name
+    return "\\" + name + " "
+
+
+def write_verilog(circuit: Netlist | SequentialCircuit) -> str:
+    """Emit a structural Verilog module for the circuit.
+
+    Flip-flops (if any) are emitted as behavioural always-blocks with an
+    active-high synchronous ``scan_enable`` mux, mirroring the scan view of
+    :class:`~repro.netlist.sequential.SequentialCircuit`.
+    """
+    if isinstance(circuit, Netlist):
+        seq = SequentialCircuit(circuit, name=circuit.name)
+    else:
+        seq = circuit
+    core = seq.core
+    pis = seq.primary_inputs
+    pos = seq.primary_outputs
+    has_ff = bool(seq.flops)
+
+    ports = list(pis) + list(pos)
+    if has_ff:
+        ports = ["clk", "scan_enable", "scan_in"] + ports + ["scan_out"]
+    lines = [f"module {_vname(seq.name)} ({', '.join(_vname(p) for p in ports)});"]
+    if has_ff:
+        lines.append("  input clk, scan_enable, scan_in;")
+        lines.append("  output scan_out;")
+    for p in pis:
+        lines.append(f"  input {_vname(p)};")
+    for p in pos:
+        lines.append(f"  output {_vname(p)};")
+    declared = set(pis) | set(pos)
+    for n in core.nets:
+        if n not in declared:
+            lines.append(f"  wire {_vname(n)};")
+    for ff in seq.flops:
+        lines.append(f"  reg {_vname(ff.name)}_state;")
+
+    idx = 0
+    for n in core.topological_order():
+        g = core.gate(n)
+        if g.gtype is GateType.INPUT:
+            continue
+        if g.gtype is GateType.CONST0:
+            lines.append(f"  assign {_vname(n)} = 1'b0;")
+        elif g.gtype is GateType.CONST1:
+            lines.append(f"  assign {_vname(n)} = 1'b1;")
+        elif g.gtype is GateType.MUX:
+            s, d0, d1 = (_vname(f) for f in g.fanin)
+            lines.append(f"  assign {_vname(n)} = {s} ? {d1} : {d0};")
+        else:
+            prim = _PRIMITIVES[g.gtype]
+            args = ", ".join([_vname(n)] + [_vname(f) for f in g.fanin])
+            lines.append(f"  {prim} g{idx} ({args});")
+            idx += 1
+
+    if has_ff:
+        chain = [ff for ff in seq.flops]
+        for i, ff in enumerate(chain):
+            prev = "scan_in" if i == 0 else f"{_vname(chain[i - 1].name)}_state"
+            lines.append("  always @(posedge clk)")
+            lines.append(
+                f"    {_vname(ff.name)}_state <= scan_enable ? {prev} : "
+                f"{_vname(ff.d)};"
+            )
+            lines.append(f"  assign {_vname(ff.q)} = {_vname(ff.name)}_state;")
+        lines.append(f"  assign scan_out = {_vname(chain[-1].name)}_state;")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(circuit: Netlist | SequentialCircuit, path: str | Path) -> None:
+    """Write structural Verilog to a file."""
+    Path(path).write_text(write_verilog(circuit))

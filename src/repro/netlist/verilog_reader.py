@@ -1,0 +1,154 @@
+"""Structural Verilog reader for the subset the writer emits.
+
+Accepts gate-primitive structural Verilog: one module, `input`/`output`/
+`wire` declarations, primitive instantiations (`nand g0 (y, a, b);`),
+continuous assigns of constants / identity / ternary muxes, and the
+behavioural scan-flop always-blocks produced by
+:func:`repro.netlist.verilog_io.write_verilog`.  That is exactly enough
+for round-tripping locked designs through the Verilog handoff format.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .gates import GateType
+from .netlist import Netlist, NetlistError
+from .sequential import FlipFlop, SequentialCircuit
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_MODULE_RE = re.compile(r"module\s+(\S+)\s*\((.*?)\)\s*;", re.S)
+_DECL_RE = re.compile(r"^(input|output|wire|reg)\s+(.+)$")
+_INST_RE = re.compile(r"^(\w+)\s+\w+\s*\((.*)\)$")
+_ASSIGN_CONST_RE = re.compile(r"^assign\s+(\S+)\s*=\s*1'b([01])$")
+_ASSIGN_MUX_RE = re.compile(
+    r"^assign\s+(\S+)\s*=\s*(\S+)\s*\?\s*(\S+)\s*:\s*(\S+)$"
+)
+_ASSIGN_WIRE_RE = re.compile(r"^assign\s+(\S+)\s*=\s*([^?;]+)$")
+_FF_RE = re.compile(
+    r"^(\S+)_state\s*<=\s*scan_enable\s*\?\s*(\S+)\s*:\s*(\S+)$"
+)
+
+
+def _unescape(token: str) -> str:
+    token = token.strip()
+    if token.startswith("\\"):
+        return token[1:].strip()
+    return token
+
+
+def parse_verilog(text: str, name: str | None = None) -> SequentialCircuit:
+    """Parse structural Verilog into a sequential circuit.
+
+    Combinational modules come back with an empty flop list.
+    """
+    m = _MODULE_RE.search(text)
+    if not m:
+        raise NetlistError("no module found")
+    mod_name = name or _unescape(m.group(1))
+    body = text[m.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise NetlistError("missing endmodule")
+    body = body[:end]
+
+    core = Netlist(mod_name)
+    outputs: list[str] = []
+    scan_ports = {"clk", "scan_enable", "scan_in", "scan_out"}
+    ff_updates: dict[str, tuple[str, str]] = {}  # state reg -> (prev, d)
+    ff_q_assign: dict[str, str] = {}  # q net -> state reg
+    pending_assigns: list[tuple[str, str]] = []
+
+    # join continued lines on ';' boundaries, strip the always headers
+    cleaned = body.replace("always @(posedge clk)", ";")
+    statements = [s.strip() for s in cleaned.split(";") if s.strip()]
+    for stmt in statements:
+        stmt = " ".join(stmt.split())
+        decl = _DECL_RE.match(stmt)
+        if decl:
+            kind, names = decl.groups()
+            for tok in names.split(","):
+                net = _unescape(tok)
+                if not net or net in scan_ports:
+                    continue
+                if kind == "input":
+                    core.add_input(net)
+                elif kind == "output":
+                    outputs.append(net)
+            continue
+        cm = _ASSIGN_CONST_RE.match(stmt)
+        if cm:
+            net, bit = _unescape(cm.group(1)), cm.group(2)
+            if net not in scan_ports:
+                core.add_gate(
+                    net, GateType.CONST1 if bit == "1" else GateType.CONST0, ()
+                )
+            continue
+        mm = _ASSIGN_MUX_RE.match(stmt)
+        if mm:
+            y, s, d1, d0 = (_unescape(t) for t in mm.groups())
+            core.add_gate(y, GateType.MUX, (s, d0, d1))
+            continue
+        fm = _FF_RE.match(stmt)
+        if fm:
+            reg, prev, d = (_unescape(t) for t in fm.groups())
+            ff_updates[reg] = (prev, d)
+            continue
+        wm = _ASSIGN_WIRE_RE.match(stmt)
+        if wm:
+            y, src = _unescape(wm.group(1)), _unescape(wm.group(2))
+            if y in scan_ports:
+                continue
+            if src.endswith("_state"):
+                ff_q_assign[y] = src[: -len("_state")]
+            else:
+                pending_assigns.append((y, src))
+            continue
+        im = _INST_RE.match(stmt)
+        if im:
+            prim, args = im.groups()
+            if prim in _PRIMITIVES:
+                nets = [_unescape(a) for a in args.split(",")]
+                out, fins = nets[0], nets[1:]
+                core.add_gate(out, _PRIMITIVES[prim], tuple(fins))
+                continue
+        # `reg x_state` declarations and anything scan-infrastructure
+        if stmt.startswith("reg ") or any(p in stmt for p in scan_ports):
+            continue
+        raise NetlistError(f"unsupported Verilog statement: {stmt!r}")
+
+    for y, src in pending_assigns:
+        core.add_gate(y, GateType.BUF, (src,))
+
+    flops: list[FlipFlop] = []
+    for q, reg in ff_q_assign.items():
+        if reg not in ff_updates:
+            raise NetlistError(f"flop state {reg!r} has no always block")
+        _, d = ff_updates[reg]
+        core.add_input(q)
+        flops.append(FlipFlop(reg, d=d, q=q))
+    core.set_outputs(outputs + [ff.d for ff in flops if ff.d not in outputs])
+    circuit = SequentialCircuit(core, name=mod_name)
+    for ff in flops:
+        circuit.add_flop(ff)
+    if flops:
+        circuit.build_scan_chains(1)
+    circuit.validate()
+    return circuit
+
+
+def load_verilog(path: str | Path) -> SequentialCircuit:
+    """Parse structural Verilog from a file."""
+    p = Path(path)
+    return parse_verilog(p.read_text(), name=p.stem)

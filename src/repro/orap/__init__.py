@@ -1,0 +1,91 @@
+"""OraP: the paper's oracle-protection logic-locking scheme.
+
+LFSR key register with reseeding (Fig. 1), per-cell pulse-generator clears
+on scan entry (Fig. 2), response-fed reseeding (modified scheme, Fig. 3),
+GF(2) planning/symbolic analysis, and the cycle-accurate protected-chip
+model that attacks interact with."""
+
+from .gf2 import (
+    bits_to_mask,
+    gf2_matmul,
+    gf2_matvec,
+    gf2_rank,
+    gf2_solve,
+    identity_rows,
+    mask_to_bits,
+    popcount,
+)
+from .lfsr import (
+    LFSR,
+    LFSRConfig,
+    SymbolicLFSR,
+    default_taps,
+    evaluate_symbolic,
+)
+from .pulse import PULSE_GENERATOR_GATES, PulseGenerator
+from .keyregister import KeyRegister
+from .schedule import (
+    KeySequence,
+    PlanningError,
+    ReseedSchedule,
+    final_state,
+    plan_key_sequence,
+)
+from .chip import ChipError, ProtectedChip, ScanCell, ScanCellKind, TrojanHooks
+from .elaborate import (
+    ElaborationReport,
+    elaborate_unlock_logic,
+    elaborated_key_bits,
+    run_elaborated,
+)
+from .scheme import (
+    OraPConfig,
+    OraPDesign,
+    closed_fanin_cone,
+    protect,
+    select_response_flops,
+    sequential_key_taint,
+    simulate_response_stream,
+    wrap_combinational,
+)
+
+__all__ = [
+    "bits_to_mask",
+    "gf2_matmul",
+    "gf2_matvec",
+    "gf2_rank",
+    "gf2_solve",
+    "identity_rows",
+    "mask_to_bits",
+    "popcount",
+    "LFSR",
+    "LFSRConfig",
+    "SymbolicLFSR",
+    "default_taps",
+    "evaluate_symbolic",
+    "PULSE_GENERATOR_GATES",
+    "PulseGenerator",
+    "KeyRegister",
+    "KeySequence",
+    "PlanningError",
+    "ReseedSchedule",
+    "final_state",
+    "plan_key_sequence",
+    "ChipError",
+    "ProtectedChip",
+    "ScanCell",
+    "ScanCellKind",
+    "TrojanHooks",
+    "ElaborationReport",
+    "elaborate_unlock_logic",
+    "elaborated_key_bits",
+    "run_elaborated",
+    "OraPConfig",
+    "OraPDesign",
+    "closed_fanin_cone",
+    "protect",
+    "select_response_flops",
+    "sequential_key_taint",
+    "simulate_response_stream",
+    "wrap_combinational",
+]

@@ -1,0 +1,220 @@
+"""Structural elaboration of the OraP unlock machinery.
+
+The chip model in :mod:`repro.orap.chip` is behavioural (the paper's own
+analysis level).  This module produces the *tape-out view* of the
+functional-mode design: one flat :class:`SequentialCircuit` containing
+
+* the locked combinational core,
+* the LFSR key-register cells as ordinary flip-flops with their shift /
+  feedback / reseed XOR network,
+* the unlock controller — a saturating cycle counter plus the decoded
+  shift-enable,
+* the key-sequence ROM — the tamper-proof memory contents decoded from
+  the counter state as two-level logic (one AND minterm per unlock cycle),
+* (modified scheme) the response-flop taps into the reseed network.
+
+After ``schedule.n_cycles`` clock edges from reset the LFSR flops hold the
+correct key and the design behaves exactly like the unlocked core — the
+elaboration is validated cycle-by-cycle against the behavioural chip in
+the tests.  Scan/test-mode structure (pulse generators, scan muxing) stays
+behavioural: its logic-level contract is a reset edge, which gate-level
+re-derivation would not illuminate further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist import FlipFlop, GateType, Netlist, SequentialCircuit
+from .scheme import OraPDesign
+
+
+@dataclass(frozen=True)
+class ElaborationReport:
+    """Gate-cost accounting of the elaborated unlock machinery."""
+
+    counter_bits: int
+    rom_minterms: int
+    controller_gates: int
+    lfsr_network_gates: int
+    total_new_gates: int
+
+
+def _counter_increment(
+    nl: Netlist, bits: list[str], prefix: str
+) -> list[str]:
+    """Ripple +1 of a register value; returns the sum nets."""
+    carry = nl.add_gate(f"{prefix}_c_in", GateType.CONST1, ())
+    outs: list[str] = []
+    for i, b in enumerate(bits):
+        s = nl.add_gate(f"{prefix}_s{i}", GateType.XOR, (b, carry))
+        carry = nl.add_gate(f"{prefix}_c{i}", GateType.AND, (b, carry))
+        outs.append(s)
+    return outs
+
+
+def _equals_const(
+    nl: Netlist, bits: list[str], value: int, prefix: str
+) -> str:
+    """Net that is 1 iff the register equals the constant."""
+    terms: list[str] = []
+    for i, b in enumerate(bits):
+        want = (value >> i) & 1
+        t = nl.add_gate(
+            f"{prefix}_b{i}", GateType.BUF if want else GateType.NOT, (b,)
+        )
+        terms.append(t)
+    if len(terms) == 1:
+        return terms[0]
+    return nl.add_gate(f"{prefix}_eq", GateType.AND, tuple(terms))
+
+
+def elaborate_unlock_logic(
+    design: OraPDesign,
+) -> tuple[SequentialCircuit, ElaborationReport]:
+    """Build the flat functional-mode netlist of the protected chip.
+
+    Returns ``(circuit, report)``.  The circuit's flip-flops are the
+    original design flops plus ``lfsr<i>`` (key register) and ``cnt<i>``
+    (unlock counter); its primary I/O matches the protected chip's.
+    """
+    core = design.locked.locked
+    key_inputs = design.locked.key_inputs
+    schedule = design.key_sequence.schedule
+    words = design.key_sequence.word_stream()
+    cfg = design.lfsr_config
+    n = cfg.size
+    n_cycles = schedule.n_cycles
+    counter_bits = max(1, (n_cycles + 1).bit_length())
+
+    nl = core.copy(f"{design.design.name}_elab")
+    base_gates = nl.num_gates()
+
+    # ---- unlock counter: saturates at n_cycles ------------------------- #
+    cnt_q = [nl.add_input(f"cnt_q{i}") for i in range(counter_bits)]
+    inc = _counter_increment(nl, cnt_q, "cnt_inc")
+    done = _equals_const(nl, cnt_q, n_cycles, "cnt_done")
+    shift_en = nl.add_gate("shift_en", GateType.NOT, (done,))
+    cnt_d: list[str] = []
+    for i in range(counter_bits):
+        d = nl.add_gate(
+            f"cnt_d{i}", GateType.MUX, (done, inc[i], cnt_q[i])
+        )
+        cnt_d.append(d)
+    controller_gates = nl.num_gates() - base_gates
+
+    # ---- key-sequence ROM ---------------------------------------------- #
+    rom_start = nl.num_gates()
+    cycle_hits: dict[int, str] = {}
+    rom_minterms = 0
+    point_index = {p: i for i, p in enumerate(cfg.reseed_points)}
+    mem_bit_nets: dict[int, list[str]] = {}  # point -> minterm nets to OR
+    for t, word in enumerate(words):
+        if word is None:
+            continue
+        hit = _equals_const(nl, cnt_q, t, f"rom_t{t}")
+        cycle_hits[t] = hit
+        rom_minterms += 1
+        for p, bit in zip(design.memory_points, word):
+            if bit:
+                mem_bit_nets.setdefault(p, []).append(hit)
+    inject: dict[int, str] = {}
+    zero = nl.add_gate("rom_zero", GateType.CONST0, ())
+    for p in cfg.reseed_points:
+        terms = mem_bit_nets.get(p, [])
+        if not terms:
+            inject[p] = zero
+        elif len(terms) == 1:
+            inject[p] = terms[0]
+        else:
+            inject[p] = nl.add_gate(
+                f"rom_p{p}", GateType.OR, tuple(terms)
+            )
+    # modified scheme: responses XOR into their points
+    for p, flop in zip(design.response_points, design.response_flops):
+        q = design.design.flop(flop).q
+        inject[p] = nl.add_gate(
+            f"inj_resp_p{p}", GateType.XOR, (inject[p], q)
+        )
+
+    # ---- LFSR shift network --------------------------------------------- #
+    lfsr_start = nl.num_gates()
+    lfsr_q = [nl.add_input(f"lfsr_q{i}") for i in range(n)]
+    fb = lfsr_q[n - 1] if cfg.feedback else zero
+    taps = set(cfg.taps)
+    lfsr_d: list[str] = []
+    for i in range(n):
+        if i == 0:
+            shifted = fb
+        else:
+            shifted = lfsr_q[i - 1]
+            if cfg.feedback and i in taps:
+                shifted = nl.add_gate(
+                    f"lfsr_tap{i}", GateType.XOR, (shifted, fb)
+                )
+        if i in point_index:
+            shifted = nl.add_gate(
+                f"lfsr_rs{i}", GateType.XOR, (shifted, inject[i])
+            )
+        # hold once the unlock completes (the paper's "shift operation of
+        # the LFSR is disabled")
+        d = nl.add_gate(
+            f"lfsr_d{i}", GateType.MUX, (shift_en, lfsr_q[i], shifted)
+        )
+        lfsr_d.append(d)
+    lfsr_gates = nl.num_gates() - lfsr_start
+
+    # ---- stitch the key inputs ------------------------------------------ #
+    for i, k in enumerate(key_inputs):
+        nl.replace_gate(k, GateType.BUF, (lfsr_q[i],))
+
+    # register all new D nets as outputs so they can back flip-flops
+    new_outputs = list(core.outputs) + cnt_d + lfsr_d
+    nl.set_outputs(new_outputs)
+
+    circuit = SequentialCircuit(nl, name=nl.name)
+    for ff in design.design.flops:
+        circuit.add_flop(ff)
+    for i in range(counter_bits):
+        circuit.add_flop(FlipFlop(f"cnt{i}", d=f"cnt_d{i}", q=f"cnt_q{i}"))
+    for i in range(n):
+        circuit.add_flop(FlipFlop(f"lfsr{i}", d=f"lfsr_d{i}", q=f"lfsr_q{i}"))
+    circuit.build_scan_chains(1)
+    circuit.validate()
+
+    report = ElaborationReport(
+        counter_bits=counter_bits,
+        rom_minterms=rom_minterms,
+        controller_gates=controller_gates,
+        lfsr_network_gates=lfsr_gates,
+        total_new_gates=nl.num_gates() - base_gates,
+    )
+    return circuit, report
+
+
+def run_elaborated(
+    circuit: SequentialCircuit,
+    design: OraPDesign,
+    n_cycles: int,
+    pi_values: dict[str, int] | None = None,
+) -> dict[str, int]:
+    """Clock the elaborated design ``n_cycles`` from reset; returns the
+    final state map (flop name -> bit)."""
+    pi_hold = dict(design.unlock_pi_values)
+    if pi_values:
+        pi_hold.update(pi_values)
+    state = circuit.reset_state()
+    for _ in range(n_cycles):
+        pis = {
+            p: pi_hold.get(p, 0)
+            for p in circuit.primary_inputs
+        }
+        state, _ = circuit.next_state(state, pis)
+    return state
+
+
+def elaborated_key_bits(
+    state: dict[str, int], design: OraPDesign
+) -> list[int]:
+    """LFSR flop values from an elaborated-state map."""
+    return [state[f"lfsr{i}"] for i in range(design.lfsr_config.size)]

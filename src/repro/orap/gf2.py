@@ -1,0 +1,123 @@
+"""GF(2) linear algebra on integer bit-rows.
+
+Vectors and matrix rows are Python ints used as bitmasks (bit ``i`` = column
+``i``), which makes XOR-heavy operations (LFSR symbolic simulation, seed
+planning) both fast and exact.  Used by:
+
+* the key-sequence planner (solve ``A x = b`` for seed bits),
+* the threat-(d) symbolic LFSR analysis (linear-expression density drives
+  the attacker's XOR-tree payload size).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def gf2_rank(rows: Sequence[int]) -> int:
+    """Rank of a GF(2) matrix given as bit-rows."""
+    basis: list[int] = []
+    for row in rows:
+        cur = row
+        for b in basis:
+            cur = min(cur, cur ^ b)
+        if cur:
+            basis.append(cur)
+            basis.sort(reverse=True)
+    return len(basis)
+
+
+def gf2_solve(rows: Sequence[int], rhs: Sequence[int], n_cols: int) -> list[int] | None:
+    """Solve ``A x = b`` over GF(2).
+
+    Args:
+        rows: matrix rows as bitmasks over ``n_cols`` unknowns.
+        rhs: right-hand-side bits (one per row).
+        n_cols: number of unknowns.
+
+    Returns:
+        One solution as a list of ``n_cols`` bits, or None if inconsistent.
+        Free variables are set to 0.
+    """
+    if len(rows) != len(rhs):
+        raise ValueError("rows and rhs length mismatch")
+    aug = [(row, int(bool(b))) for row, b in zip(rows, rhs)]
+    pivots: dict[int, tuple[int, int]] = {}  # column -> (row, rhs-bit)
+    for row, b in aug:
+        cur, cb = row, b
+        while cur:
+            col = cur.bit_length() - 1
+            if col in pivots:
+                prow, pb = pivots[col]
+                cur ^= prow
+                cb ^= pb
+            else:
+                pivots[col] = (cur, cb)
+                cur = 0
+                cb = 0
+        if cur == 0 and cb == 1:
+            return None  # 0 = 1: inconsistent
+    x = [0] * n_cols
+    # each pivot row's highest bit is its pivot column, so every other bit
+    # references a lower column: solve in ascending column order
+    for col in sorted(pivots):
+        row, b = pivots[col]
+        acc = b
+        rest = row & ~(1 << col)
+        while rest:
+            c = rest.bit_length() - 1
+            acc ^= x[c]
+            rest &= ~(1 << c)
+        x[col] = acc
+    return x
+
+
+def gf2_matvec(rows: Sequence[int], x_bits: Sequence[int]) -> list[int]:
+    """Compute ``A x`` over GF(2) (x given as a bit list)."""
+    xmask = 0
+    for i, b in enumerate(x_bits):
+        if b:
+            xmask |= 1 << i
+    return [bin(row & xmask).count("1") & 1 for row in rows]
+
+
+def gf2_matmul(a_rows: Sequence[int], b_rows: Sequence[int]) -> list[int]:
+    """Matrix product ``A B`` with rows as bitmasks.
+
+    ``A`` is m x k (bit j of a row = column j), ``B`` is k x n; the result
+    is m x n in the same representation.
+    """
+    out: list[int] = []
+    for arow in a_rows:
+        acc = 0
+        rest = arow
+        while rest:
+            j = rest.bit_length() - 1
+            acc ^= b_rows[j]
+            rest &= ~(1 << j)
+        out.append(acc)
+    return out
+
+
+def identity_rows(n: int) -> list[int]:
+    """Identity matrix as bit-rows."""
+    return [1 << i for i in range(n)]
+
+
+def bits_to_mask(bits: Sequence[int]) -> int:
+    """Pack a bit list into an int bitmask."""
+    mask = 0
+    for i, b in enumerate(bits):
+        if b:
+            mask |= 1 << i
+    return mask
+
+
+def mask_to_bits(mask: int, n: int) -> list[int]:
+    """Unpack an int bitmask into n bits."""
+    return [(mask >> i) & 1 for i in range(n)]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits."""
+    return bin(mask).count("1")

@@ -1,0 +1,104 @@
+"""The OraP key register: LFSR cells + per-cell pulse generators.
+
+Combines :class:`~repro.orap.lfsr.LFSR` state with one
+:class:`~repro.orap.pulse.PulseGenerator` per cell (the paper uses a
+separate generator per cell precisely so that a Trojan must be replicated
+per cell — threat (a)).  The register also exposes scan access because the
+LFSR cells are, by design, part of the scan chains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .lfsr import LFSR, LFSRConfig
+from .pulse import PulseGenerator
+
+
+class KeyRegister:
+    """Cycle-accurate key register model.
+
+    The register has three activities, mirroring the paper's design:
+
+    * **clear**: on every scan-enable rising edge each cell's pulse
+      generator clears that cell (unless Trojan-suppressed);
+    * **unlock shifting**: during the unlock process the LFSR shifts with
+      reseeding injections; afterwards shifting is disabled and the state
+      is the combinational key;
+    * **scan shifting**: in scan mode the cells behave as ordinary scan
+      cells (shift only; no LFSR feedback).
+    """
+
+    def __init__(self, config: LFSRConfig) -> None:
+        self.config = config
+        self.lfsr = LFSR(config)
+        self.pulses = [PulseGenerator() for _ in range(config.size)]
+        self.shift_enabled = False
+
+    @property
+    def size(self) -> int:
+        """Number of key-register cells."""
+        return self.config.size
+
+    @property
+    def state(self) -> list[int]:
+        """Copy of the current cell values."""
+        return list(self.lfsr.state)
+
+    def key_bits(self) -> list[int]:
+        """Current outputs (drive the locked circuit's key inputs)."""
+        return list(self.lfsr.state)
+
+    def sense_scan_enable(self, scan_enable: int) -> list[int]:
+        """Propagate a scan-enable level to every pulse generator.
+
+        Returns the indices of cells that were cleared this transition.
+        """
+        cleared: list[int] = []
+        for i, gen in enumerate(self.pulses):
+            if gen.sense(scan_enable):
+                self.lfsr.state[i] = 0
+                cleared.append(i)
+        return cleared
+
+    def unlock_step(self, seed_bits: Sequence[int] | None) -> None:
+        """One unlock-process LFSR cycle (controller keeps shift enabled)."""
+        if not self.shift_enabled:
+            raise RuntimeError("unlock_step with LFSR shifting disabled")
+        self.lfsr.step(seed_bits)
+
+    def freeze(self) -> None:
+        """Disable shifting — the final state is the key (end of unlock)."""
+        self.shift_enabled = False
+
+    def begin_unlock(self) -> None:
+        """Enable LFSR shifting for the unlock process."""
+        self.shift_enabled = True
+
+    def scan_cell_get(self, idx: int) -> int:
+        """Read one cell through the scan path."""
+        return self.lfsr.state[idx]
+
+    def scan_cell_set(self, idx: int, bit: int) -> None:
+        """Write one cell through the scan path."""
+        self.lfsr.state[idx] = int(bool(bit))
+
+    def suppress_pulses(self, cells: Sequence[int]) -> None:
+        """Threat (a): Trojan disables the clear of the given cells."""
+        for c in cells:
+            self.pulses[c].suppressed = True
+
+    def gate_overhead(self) -> dict[str, int]:
+        """OraP structural gate cost, per the paper's Table I accounting:
+        pulse generators + reseeding XORs + characteristic-polynomial XORs.
+        The flip-flops themselves are excluded (key registers are common to
+        all locking schemes)."""
+        pulse_gates = sum(g.gate_cost() for g in self.pulses)
+        return {
+            "pulse_generators": pulse_gates,
+            "reseed_xors": len(self.config.reseed_points),
+            "feedback_xors": len(self.config.taps),
+            "total": pulse_gates
+            + len(self.config.reseed_points)
+            + len(self.config.taps),
+        }

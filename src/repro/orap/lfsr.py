@@ -1,0 +1,232 @@
+"""The OraP key-generating LFSR (paper Fig. 1).
+
+The key register is an internal-XOR (Galois-style) LFSR with two kinds of
+XOR injection:
+
+* **feedback taps** from the characteristic polynomial — the paper uses
+  "polynomials with a new tap after every eight LFSR cells", reproduced by
+  :func:`default_taps`;
+* **reseeding points**: cells that additionally XOR in an external bit each
+  cycle.  In the basic scheme all reseeding points are driven by the
+  tamper-proof memory ("key sequence"); in the modified scheme (Fig. 3)
+  half of them are driven by functional flip-flop responses.
+
+Both a concrete simulator and a GF(2) *symbolic* simulator are provided;
+the symbolic form expresses every cell as a linear combination of injected
+bits, which is exactly the analysis an attacker performs in threat (d) and
+what the XOR-tree payload cost is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .gf2 import popcount
+
+
+def default_taps(size: int, spacing: int = 8) -> tuple[int, ...]:
+    """Feedback tap positions: one tap every ``spacing`` cells.
+
+    Tap ``i`` means the feedback bit is XOR-ed into cell ``i`` during the
+    shift (cell 0 always receives the feedback itself).  This matches the
+    paper's cost/controllability trade-off choice.
+    """
+    if size < 2:
+        raise ValueError("LFSR size must be >= 2")
+    return tuple(i for i in range(spacing, size, spacing))
+
+
+@dataclass
+class LFSRConfig:
+    """Static structure of the key-generating LFSR.
+
+    Attributes:
+        size: number of cells n (= key width).
+        taps: internal feedback tap cell indices (cell 0 implicit).
+        reseed_points: cells with reseeding XOR gates, in injection order.
+            Defaults to *all* cells ("the most general case" of Fig. 1).
+    """
+
+    size: int
+    taps: tuple[int, ...] = ()
+    reseed_points: tuple[int, ...] = ()
+    #: False models a plain shift register (no characteristic-polynomial
+    #: feedback) — the weaker alternative the paper argues against
+    feedback: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.taps:
+            self.taps = default_taps(self.size) if self.size > 8 else (1,)
+        if not self.reseed_points:
+            self.reseed_points = tuple(range(self.size))
+        for t in self.taps:
+            if not 1 <= t < self.size:
+                raise ValueError(f"tap {t} out of range [1, {self.size})")
+        for r in self.reseed_points:
+            if not 0 <= r < self.size:
+                raise ValueError(f"reseed point {r} out of range")
+        if len(set(self.reseed_points)) != len(self.reseed_points):
+            raise ValueError("duplicate reseed points")
+
+    @property
+    def n_reseed(self) -> int:
+        """Number of reseeding points."""
+        return len(self.reseed_points)
+
+    def xor_gate_count(self) -> int:
+        """XOR gates the structure adds (taps + reseed points), as counted
+        in the paper's Table I overhead."""
+        return len(self.taps) + len(self.reseed_points)
+
+
+class LFSR:
+    """Concrete-state key-generating LFSR.
+
+    State is a list of n bits; ``state[0]`` is the shift-in end (receives
+    the feedback), ``state[n-1]`` the shift-out end.
+    """
+
+    def __init__(self, config: LFSRConfig, state: Sequence[int] | None = None):
+        self.config = config
+        n = config.size
+        self.state: list[int] = (
+            [int(bool(b)) for b in state] if state is not None else [0] * n
+        )
+        if len(self.state) != n:
+            raise ValueError(f"state width {len(self.state)} != size {n}")
+        self._taps = frozenset(config.taps)
+
+    def clear(self) -> None:
+        """Pulse-generator reset: all cells to 0 (paper Fig. 2)."""
+        self.state = [0] * self.config.size
+
+    def step(self, seed_bits: Sequence[int] | None = None) -> None:
+        """One shift cycle with optional reseeding injection.
+
+        Args:
+            seed_bits: one bit per reseed point (None = all-zero free-run
+                cycle, the paper's "all-zero value ... pushed to the LFSR").
+        """
+        cfg = self.config
+        n = cfg.size
+        fb = self.state[n - 1] if cfg.feedback else 0
+        nxt = [0] * n
+        nxt[0] = fb
+        for i in range(1, n):
+            v = self.state[i - 1]
+            if cfg.feedback and i in self._taps:
+                v ^= fb
+            nxt[i] = v
+        if seed_bits is not None:
+            if len(seed_bits) != cfg.n_reseed:
+                raise ValueError(
+                    f"expected {cfg.n_reseed} seed bits, got {len(seed_bits)}"
+                )
+            for pos, bit in zip(cfg.reseed_points, seed_bits):
+                nxt[pos] ^= int(bool(bit))
+        self.state = nxt
+
+    def run(self, words: Sequence[Sequence[int] | None]) -> list[int]:
+        """Apply a word sequence (None entries = free-run); returns state."""
+        for w in words:
+            self.step(w)
+        return list(self.state)
+
+    def copy(self) -> "LFSR":
+        """Deep copy (optionally renamed)."""
+        return LFSR(self.config, list(self.state))
+
+
+class SymbolicLFSR:
+    """LFSR over GF(2) with symbolic injected bits.
+
+    Each cell holds an int bitmask: bit ``v`` set means injected variable
+    ``v`` participates (XOR) in that cell's current value.  Variables are
+    allocated per injection via :meth:`step_symbolic`.  After a reset the
+    state is exactly linear (no affine constants), matching the paper's
+    threat-(d) analysis where the attacker reconstructs each cell as a XOR
+    tree over the seed bits.
+    """
+
+    def __init__(self, config: LFSRConfig):
+        self.config = config
+        self.cells: list[int] = [0] * config.size
+        self.n_vars = 0
+        self._taps = frozenset(config.taps)
+
+    def clear(self) -> None:
+        """Reset all cells (and symbolic state) to zero."""
+        self.cells = [0] * self.config.size
+        self.n_vars = 0
+
+    def step_symbolic(self, inject: bool = True) -> list[int] | None:
+        """One cycle; if ``inject``, allocate fresh variables for every
+        reseed point and return their indices (else free-run)."""
+        cfg = self.config
+        n = cfg.size
+        fb = self.cells[n - 1] if cfg.feedback else 0
+        nxt = [0] * n
+        nxt[0] = fb
+        for i in range(1, n):
+            v = self.cells[i - 1]
+            if cfg.feedback and i in self._taps:
+                v ^= fb
+            nxt[i] = v
+        fresh: list[int] | None = None
+        if inject:
+            fresh = []
+            for pos in cfg.reseed_points:
+                var = self.n_vars
+                self.n_vars += 1
+                nxt[pos] ^= 1 << var
+                fresh.append(var)
+        self.cells = nxt
+        return fresh
+
+    def step_with_known(self, known_masks: Sequence[int]) -> None:
+        """One cycle injecting *existing* expressions (bitmasks) at the
+        reseed points — used when responses feed the LFSR (Fig. 3)."""
+        cfg = self.config
+        if len(known_masks) != cfg.n_reseed:
+            raise ValueError("one mask per reseed point required")
+        n = cfg.size
+        fb = self.cells[n - 1] if cfg.feedback else 0
+        nxt = [0] * n
+        nxt[0] = fb
+        for i in range(1, n):
+            v = self.cells[i - 1]
+            if cfg.feedback and i in self._taps:
+                v ^= fb
+            nxt[i] = v
+        for pos, mask in zip(cfg.reseed_points, known_masks):
+            nxt[pos] ^= mask
+        self.cells = nxt
+
+    def expression_sizes(self) -> list[int]:
+        """Number of variables in each cell's linear expression."""
+        return [popcount(c) for c in self.cells]
+
+    def xor_tree_gate_count(self) -> int:
+        """Total 2-input XOR gates needed to rebuild every cell's value
+        from the injected variables — the threat-(d) Trojan payload."""
+        return sum(max(0, popcount(c) - 1) for c in self.cells)
+
+
+def evaluate_symbolic(
+    cells: Sequence[int], var_values: Sequence[int]
+) -> list[int]:
+    """Evaluate symbolic cell masks on concrete variable values.
+
+    Cross-checks :class:`SymbolicLFSR` against :class:`LFSR` in tests.
+    """
+    out: list[int] = []
+    for mask in cells:
+        acc = 0
+        rest = mask
+        while rest:
+            v = rest.bit_length() - 1
+            acc ^= int(bool(var_values[v]))
+            rest &= ~(1 << v)
+        out.append(acc)
+    return out

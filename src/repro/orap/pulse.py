@@ -1,0 +1,49 @@
+"""Behavioural model of the per-cell pulse generator (paper Fig. 2).
+
+The generator's output is constantly 1 except on a 0->1 transition of
+``scan_enable``, when it emits a 0-pulse that asynchronously clears its key
+flip-flop.  At logic level (the paper's own analysis scope) the contract is
+exactly "clear on scan-enable rising edge", which is what :meth:`sense`
+implements.  The inverter-chain pulse width is a physical parameter kept
+for overhead accounting only.
+
+A Trojan of threat (a) suppresses individual generators; that is modelled
+with :attr:`suppressed` so the threats package can flip it per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: gates per pulse generator, as drawn in Fig. 2: a 3-inverter chain plus
+#: the NAND2 that forms the pulse.
+PULSE_GENERATOR_INVERTERS = 3
+PULSE_GENERATOR_GATES = PULSE_GENERATOR_INVERTERS + 1
+
+
+@dataclass
+class PulseGenerator:
+    """Edge detector for one key-register cell.
+
+    Attributes:
+        suppressed: when True (Trojan payload active), the clear pulse is
+            swallowed and the cell keeps its value across scan entry.
+    """
+
+    suppressed: bool = False
+    _prev_scan_enable: int = 1  # power-on value; first SE=1 is not an edge
+
+    def reset(self, scan_enable: int = 1) -> None:
+        """Initialize the edge detector to a known scan-enable level."""
+        self._prev_scan_enable = int(bool(scan_enable))
+
+    def sense(self, scan_enable: int) -> bool:
+        """Feed the current scan-enable level; True = clear pulse fired."""
+        se = int(bool(scan_enable))
+        rising = self._prev_scan_enable == 0 and se == 1
+        self._prev_scan_enable = se
+        return rising and not self.suppressed
+
+    def gate_cost(self) -> int:
+        """Standard-cell gate count of one generator (overhead accounting)."""
+        return PULSE_GENERATOR_GATES

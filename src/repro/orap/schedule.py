@@ -1,0 +1,221 @@
+"""Reseed schedules and key-sequence planning.
+
+A :class:`ReseedSchedule` describes the multi-cycle unlock process: which
+cycles push a memory word into the LFSR's memory-driven reseeding points
+and which are free-run cycles (the all-zero word).  The planner computes
+the secret memory words ("key sequence", the values stored in tamper-proof
+memory) so that the LFSR's final state equals the locking scheme's correct
+key — exactly, via GF(2) linear algebra, for both the basic scheme and the
+modified scheme where functional-flip-flop responses co-drive the LFSR.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .gf2 import gf2_solve
+from .lfsr import LFSR, LFSRConfig, SymbolicLFSR
+
+
+@dataclass(frozen=True)
+class ReseedSchedule:
+    """Unlock-process timing.
+
+    Attributes:
+        inject: one flag per unlock cycle; True = a memory word is pushed
+            this cycle, False = free-run (all-zero word).  The paper allows
+            arbitrary, varying gaps between seeds and after the last seed.
+    """
+
+    inject: tuple[bool, ...]
+
+    @property
+    def n_cycles(self) -> int:
+        """Total unlock cycles."""
+        return len(self.inject)
+
+    @property
+    def n_seed_cycles(self) -> int:
+        """Cycles that push a memory word."""
+        return sum(self.inject)
+
+    @staticmethod
+    def regular(n_seeds: int, gap: int = 0, tail: int = 0) -> "ReseedSchedule":
+        """``n_seeds`` injections separated by ``gap`` free-run cycles,
+        with ``tail`` free-run cycles after the last seed."""
+        flags: list[bool] = []
+        for i in range(n_seeds):
+            flags.append(True)
+            if i < n_seeds - 1:
+                flags.extend([False] * gap)
+        flags.extend([False] * tail)
+        return ReseedSchedule(tuple(flags))
+
+    @staticmethod
+    def randomized(
+        n_seeds: int,
+        max_gap: int = 3,
+        max_tail: int = 4,
+        rng: random.Random | int | None = 0,
+    ) -> "ReseedSchedule":
+        """Random variable gaps, as the paper recommends ("the number of
+        free-run cycles between two seeds does not have to be constant")."""
+        rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        flags: list[bool] = []
+        for i in range(n_seeds):
+            flags.append(True)
+            if i < n_seeds - 1:
+                flags.extend([False] * rng.randint(0, max_gap))
+        flags.extend([False] * rng.randint(0, max_tail))
+        return ReseedSchedule(tuple(flags))
+
+
+@dataclass(frozen=True)
+class KeySequence:
+    """The planned secret: memory words plus the schedule they follow.
+
+    ``words[i]`` is pushed on the schedule's i-th injection cycle; each
+    word has one bit per *memory-driven* reseeding point.
+    """
+
+    schedule: ReseedSchedule
+    words: tuple[tuple[int, ...], ...]
+
+    def word_stream(self) -> list[tuple[int, ...] | None]:
+        """Per-cycle memory words (None on free-run cycles)."""
+        stream: list[tuple[int, ...] | None] = []
+        it = iter(self.words)
+        for inj in self.schedule.inject:
+            stream.append(next(it) if inj else None)
+        return stream
+
+
+class PlanningError(RuntimeError):
+    """The schedule cannot reach the requested key (rank deficiency)."""
+
+
+def plan_key_sequence(
+    config: LFSRConfig,
+    schedule: ReseedSchedule,
+    target_key: Sequence[int],
+    memory_points: Sequence[int] | None = None,
+    response_stream: Sequence[Sequence[int]] | None = None,
+    response_points: Sequence[int] = (),
+    rng: random.Random | int | None = 0,
+) -> KeySequence:
+    """Compute memory words so the final LFSR state equals ``target_key``.
+
+    The LFSR is linear, so the final state is ``A m XOR d`` where ``m``
+    stacks all memory word bits, ``A`` is the injection-to-final-state
+    transfer matrix (built by symbolic simulation) and ``d`` is the
+    contribution of the known response stream (modified scheme) — zero for
+    the basic scheme.  We solve ``A m = target XOR d`` and randomize free
+    variables by solving for a correction on top of a random vector, so the
+    stored words look uniformly random.
+
+    Args:
+        config: LFSR structure.  ``memory_points`` must partition
+            ``config.reseed_points`` together with ``response_points``.
+        schedule: unlock timing.
+        target_key: required final LFSR state (the locking scheme's key).
+        memory_points: reseed points driven by the tamper-proof memory
+            (default: all points not in ``response_points``).
+        response_stream: per-cycle response bits, one sequence of
+            ``len(response_points)`` bits per unlock cycle (Fig. 3).
+        response_points: reseed points driven by circuit flip-flops.
+    """
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+    n = config.size
+    if len(target_key) != n:
+        raise ValueError(f"target key width {len(target_key)} != LFSR size {n}")
+    rp = set(response_points)
+    if memory_points is None:
+        memory_points = tuple(p for p in config.reseed_points if p not in rp)
+    mp = list(memory_points)
+    if rp | set(mp) != set(config.reseed_points) or rp & set(mp):
+        raise ValueError("memory_points/response_points must partition reseed points")
+    if response_points and response_stream is None:
+        raise ValueError("response_stream required when response_points given")
+    if response_stream is not None and len(response_stream) != schedule.n_cycles:
+        raise ValueError("response_stream must cover every unlock cycle")
+
+    point_index = {p: i for i, p in enumerate(config.reseed_points)}
+    n_mem = len(mp)
+    n_words = schedule.n_seed_cycles
+
+    # --- constant term d: concrete run with zero memory words ------------
+    concrete = LFSR(config)
+    for t, inj in enumerate(schedule.inject):
+        bits = [0] * config.n_reseed
+        if response_stream is not None:
+            for p, b in zip(response_points, response_stream[t]):
+                bits[point_index[p]] = int(bool(b))
+        concrete.step(bits)
+    d = concrete.state
+
+    # --- transfer matrix A: symbolic run, variables = memory bits --------
+    sym = SymbolicLFSR(config)
+    var = 0
+    for inj in schedule.inject:
+        masks = [0] * config.n_reseed
+        if inj:
+            for p in mp:
+                masks[point_index[p]] = 1 << var
+                var += 1
+        sym.step_with_known(masks)
+    n_unknowns = var
+    assert n_unknowns == n_words * n_mem
+    # rows of the solve are per key bit: row_i has bit v set iff memory
+    # variable v affects final cell i
+    rows = list(sym.cells)
+    rhs = [int(bool(k)) ^ db for k, db in zip(target_key, d)]
+
+    # randomize: m = m_rand XOR delta with A delta = rhs XOR A m_rand
+    m_rand = [rng.randrange(2) for _ in range(n_unknowns)]
+    from .gf2 import gf2_matvec
+
+    shifted_rhs = [r ^ a for r, a in zip(rhs, gf2_matvec(rows, m_rand))]
+    delta = gf2_solve(rows, shifted_rhs, n_unknowns)
+    if delta is None:
+        raise PlanningError(
+            f"schedule cannot reach target key: {n_unknowns} memory bits, "
+            f"rank deficiency over {n} key bits — add seed cycles or "
+            "memory-driven reseed points"
+        )
+    m = [a ^ b for a, b in zip(m_rand, delta)]
+    words: list[tuple[int, ...]] = []
+    for w in range(n_words):
+        words.append(tuple(m[w * n_mem : (w + 1) * n_mem]))
+    return KeySequence(schedule=schedule, words=tuple(words))
+
+
+def final_state(
+    config: LFSRConfig,
+    sequence: KeySequence,
+    memory_points: Sequence[int] | None = None,
+    response_stream: Sequence[Sequence[int]] | None = None,
+    response_points: Sequence[int] = (),
+) -> list[int]:
+    """Run the LFSR through a planned sequence; returns the final state.
+
+    Reference implementation used to verify planning and by the chip model
+    to know the expected key.
+    """
+    rp = set(response_points)
+    if memory_points is None:
+        memory_points = tuple(p for p in config.reseed_points if p not in rp)
+    point_index = {p: i for i, p in enumerate(config.reseed_points)}
+    lfsr = LFSR(config)
+    stream = sequence.word_stream()
+    for t, word in enumerate(stream):
+        bits = [0] * config.n_reseed
+        if word is not None:
+            for p, b in zip(memory_points, word):
+                bits[point_index[p]] = int(bool(b))
+        if response_stream is not None:
+            for p, b in zip(response_points, response_stream[t]):
+                bits[point_index[p]] ^= int(bool(b))
+        lfsr.step(bits)
+    return list(lfsr.state)

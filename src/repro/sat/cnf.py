@@ -1,0 +1,111 @@
+"""CNF formula container and DIMACS I/O.
+
+Literals use the DIMACS convention: variables are positive integers, a
+negative integer is the negated variable.  :class:`CNF` is a thin,
+append-only clause store shared by the encoder and the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass
+class CNF:
+    """A CNF formula: a clause list plus a variable counter."""
+
+    n_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.n_vars += 1
+        return self.n_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Append one clause (DIMACS literals)."""
+        clause = tuple(int(l) for l in literals)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if abs(lit) > self.n_vars:
+                self.n_vars = abs(lit)
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Append several clauses."""
+        for c in clauses:
+            self.add_clause(c)
+
+    def extend(self, other: "CNF") -> None:
+        """Append another formula's clauses (variables must already be
+        disjoint or intentionally shared)."""
+        self.n_vars = max(self.n_vars, other.n_vars)
+        self.clauses.extend(other.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.clauses)
+
+    def copy(self) -> "CNF":
+        """Deep copy (optionally renamed)."""
+        return CNF(self.n_vars, list(self.clauses))
+
+    def to_dimacs(self) -> str:
+        """Serialize to DIMACS text."""
+        lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def save_dimacs(self, path: str | Path) -> None:
+        """Write DIMACS text to a file."""
+        Path(path).write_text(self.to_dimacs())
+
+    @staticmethod
+    def from_dimacs(text: str) -> "CNF":
+        """Parse DIMACS text."""
+        cnf = CNF()
+        declared_vars = 0
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad DIMACS header: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            lits = [int(t) for t in line.split()]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if lits:
+                cnf.add_clause(lits)
+        cnf.n_vars = max(cnf.n_vars, declared_vars)
+        return cnf
+
+    @staticmethod
+    def load_dimacs(path: str | Path) -> "CNF":
+        """Parse a DIMACS file from disk."""
+        return CNF.from_dimacs(Path(path).read_text())
+
+
+def evaluate_clause(clause: Sequence[int], assignment: dict[int, bool]) -> bool:
+    """True if the clause is satisfied under a (complete) assignment."""
+    return any(
+        assignment.get(abs(l), False) == (l > 0) for l in clause
+    )
+
+
+def evaluate_cnf(cnf: CNF, assignment: dict[int, bool]) -> bool:
+    """True if every clause is satisfied (reference checker for tests)."""
+    return all(evaluate_clause(c, assignment) for c in cnf.clauses)

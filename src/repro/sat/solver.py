@@ -1,0 +1,573 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+Implements the algorithm family of MiniSat-class solvers, which the original
+SAT-attack tool [6] builds on:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and backjumping,
+* VSIDS variable activities with phase saving,
+* Luby-sequence restarts,
+* activity-driven learned-clause database reduction,
+* incremental solving under assumptions.
+
+Pure Python by design (no native SAT package is available offline); it is
+fast enough for the locked-circuit instances this reproduction generates
+(tens of thousands of clauses).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .cnf import CNF
+
+TRUE = 1
+FALSE = 0
+UNASSIGNED = -1
+
+
+def _lit_to_internal(lit: int) -> int:
+    """DIMACS literal -> internal encoding (2v for +v, 2v+1 for -v)."""
+    v = abs(lit)
+    return 2 * v if lit > 0 else 2 * v + 1
+
+
+def _internal_to_lit(ilit: int) -> int:
+    v = ilit >> 1
+    return v if (ilit & 1) == 0 else -v
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one :meth:`Solver.solve` call.
+
+    Attributes:
+        sat: True (model found), False (UNSAT under assumptions).
+        model: variable -> bool map when ``sat`` (complete over all vars).
+        conflicts: conflicts encountered during this call.
+        decisions: decisions made during this call.
+        propagations: literals propagated during this call.
+    """
+
+    sat: bool
+    model: dict[int, bool] | None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: list[int], learned: bool) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+class Solver:
+    """Incremental CDCL solver.
+
+    Typical use::
+
+        s = Solver()
+        s.add_clause([1, -2])
+        s.add_clause([2, 3])
+        result = s.solve(assumptions=[-1])
+        if result: print(result.model)
+    """
+
+    def __init__(self, cnf: CNF | None = None) -> None:
+        self._n_vars = 0
+        self._clauses: list[_Clause] = []
+        self._learned: list[_Clause] = []
+        self._watches: list[list[_Clause]] = [[], []]
+        self._assign: list[int] = [UNASSIGNED]
+        # per-internal-literal truth value (-1/0/1), the propagate hot path
+        self._lit_val: list[int] = [UNASSIGNED, UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[int] = [FALSE]
+        self._trail: list[int] = []  # internal literals, in assignment order
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._heap: list[tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.99
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._max_learned = 4000
+        self._ok = True
+        self.stats_conflicts = 0
+        self.stats_decisions = 0
+        self.stats_propagations = 0
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------ #
+    # problem construction
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._n_vars += 1
+        self._assign.append(UNASSIGNED)
+        self._lit_val.append(UNASSIGNED)
+        self._lit_val.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(FALSE)
+        self._watches.append([])
+        self._watches.append([])
+        return self._n_vars
+
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable table to at least ``n``."""
+        while self._n_vars < n:
+            self.new_var()
+
+    @property
+    def n_vars(self) -> int:
+        """Highest allocated variable index."""
+        return self._n_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT.
+
+        Must be called at decision level 0 (i.e. between solve calls).
+        """
+        if self._trail_lim:
+            raise RuntimeError("add_clause only permitted at level 0")
+        if not self._ok:
+            return False
+        seen: set[int] = set()
+        lits: list[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.ensure_vars(abs(lit))
+            ilit = _lit_to_internal(lit)
+            if ilit ^ 1 in seen:
+                return True  # tautology: always satisfied
+            if ilit in seen:
+                continue
+            val = self._value(ilit)
+            if val == TRUE:
+                return True  # already satisfied at level 0
+            if val == FALSE:
+                continue  # falsified at level 0: drop literal
+            seen.add(ilit)
+            lits.append(ilit)
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        clause = _Clause(lits, learned=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        """Add every clause of a formula."""
+        self.ensure_vars(cnf.n_vars)
+        ok = True
+        for clause in cnf.clauses:
+            ok = self.add_clause(clause) and ok
+        return ok and self._ok
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _value(self, ilit: int) -> int:
+        a = self._assign[ilit >> 1]
+        if a == UNASSIGNED:
+            return UNASSIGNED
+        return a ^ (ilit & 1)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0] ^ 1].append(clause)
+        self._watches[clause.lits[1] ^ 1].append(clause)
+
+    def _enqueue(self, ilit: int, reason: _Clause | None) -> bool:
+        val = self._lit_val[ilit]
+        if val == FALSE:
+            return False
+        if val == TRUE:
+            return True
+        v = ilit >> 1
+        val = TRUE if (ilit & 1) == 0 else FALSE
+        self._assign[v] = val
+        self._lit_val[ilit] = TRUE
+        self._lit_val[ilit ^ 1] = FALSE
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._phase[v] = val
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        lit_val = self._lit_val
+        watches = self._watches
+        trail = self._trail
+        enqueue = self._enqueue
+        while self._qhead < len(trail):
+            ilit = trail[self._qhead]
+            self._qhead += 1
+            self.stats_propagations += 1
+            false_lit = ilit ^ 1
+            # clauses watching ``false_lit`` live under watches[ilit]
+            # (attach registers a watch on L in watches[L ^ 1])
+            watch_list = watches[ilit]
+            new_list: list[_Clause] = []
+            append_kept = new_list.append
+            conflict: _Clause | None = None
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                lits = clause.lits
+                # make sure the false literal is in slot 1
+                if lits[0] == false_lit:
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
+                first = lits[0]
+                if lit_val[first] == TRUE:
+                    append_kept(clause)
+                    continue
+                # search a new watch
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    if lit_val[lk] != FALSE:
+                        lits[1] = lk
+                        lits[k] = false_lit
+                        watches[lk ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                append_kept(clause)
+                if not enqueue(first, clause):
+                    conflict = clause
+                    # keep the remaining watchers
+                    new_list.extend(watch_list[i:])
+                    break
+            watches[ilit] = new_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP analysis: returns (learned clause, backjump level).
+
+        The learned clause's asserting literal is placed at index 0.
+        """
+        learned: list[int] = [0]  # reserve slot for the asserting literal
+        seen = [False] * (self._n_vars + 1)
+        counter = 0
+        ilit = -1
+        idx = len(self._trail) - 1
+        reason: _Clause | None = conflict
+        cur_level = len(self._trail_lim)
+        first = True
+        while True:
+            assert reason is not None
+            if reason.learned:
+                self._bump_clause(reason)
+            start = 0 if first else 1
+            for q in reason.lits[start:]:
+                v = q >> 1
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self._level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            first = False
+            # pick next literal on trail to resolve on
+            while not seen[self._trail[idx] >> 1]:
+                idx -= 1
+            ilit = self._trail[idx]
+            idx -= 1
+            v = ilit >> 1
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[v]
+        learned[0] = ilit ^ 1
+        # minimize: drop literals implied by the rest (cheap self-subsumption)
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            back_level = 0
+        else:
+            # second-highest decision level in the clause
+            max_i = 1
+            for i in range(2, len(learned)):
+                if self._level[learned[i] >> 1] > self._level[learned[max_i] >> 1]:
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            back_level = self._level[learned[1] >> 1]
+        return learned, back_level
+
+    def _minimize(self, learned: list[int], seen: list[bool]) -> list[int]:
+        """Recursive (MiniSat-style) learned-clause minimization.
+
+        A literal is redundant if every antecedent in its implication
+        graph eventually resolves into literals already in the clause (or
+        level-0 facts).  ``seen`` marks the clause's variables on entry.
+        """
+        levels = set()
+        for q in learned[1:]:
+            levels.add(self._level[q >> 1])
+        out = [learned[0]]
+        extra_marked: list[int] = []
+        for q in learned[1:]:
+            if self._reason[q >> 1] is None or not self._lit_redundant(
+                q, levels, seen, extra_marked
+            ):
+                out.append(q)
+        for v in extra_marked:
+            seen[v] = False
+        return out
+
+    def _lit_redundant(
+        self,
+        lit: int,
+        levels: set[int],
+        seen: list[bool],
+        extra_marked: list[int],
+    ) -> bool:
+        """Iterative DFS over the implication graph of ``lit``."""
+        stack = [lit]
+        start = len(extra_marked)
+        while stack:
+            p = stack.pop()
+            reason = self._reason[p >> 1]
+            assert reason is not None
+            for q in reason.lits[1:]:
+                v = q >> 1
+                if seen[v] or self._level[v] == 0:
+                    continue
+                if self._reason[v] is None or self._level[v] not in levels:
+                    # a decision or an off-level antecedent: not redundant;
+                    # undo the speculative marks from this probe
+                    for m in extra_marked[start:]:
+                        seen[m] = False
+                    del extra_marked[start:]
+                    return False
+                seen[v] = True
+                extra_marked.append(v)
+                stack.append(q)
+        return True
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for ilit in reversed(self._trail[bound:]):
+            v = ilit >> 1
+            self._assign[v] = UNASSIGNED
+            self._lit_val[ilit] = UNASSIGNED
+            self._lit_val[ilit ^ 1] = UNASSIGNED
+            self._reason[v] = None
+            heapq.heappush(self._heap, (-self._activity[v], v))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _bump_var(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > 1e100:
+            for i in range(1, self._n_vars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self._activity[v], v))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    def _pick_branch_var(self) -> int:
+        while self._heap:
+            neg_act, v = heapq.heappop(self._heap)
+            if self._assign[v] == UNASSIGNED and -neg_act >= self._activity[v] - 1e-12:
+                return v
+        for v in range(1, self._n_vars + 1):
+            if self._assign[v] == UNASSIGNED:
+                return v
+        return 0
+
+    def _reduce_db(self) -> None:
+        """Throw away the less active half of the learned clauses."""
+        locked = {self._reason[l >> 1] for l in self._trail if self._reason[l >> 1]}
+        self._learned.sort(key=lambda c: c.activity)
+        keep_from = len(self._learned) // 2
+        removed = []
+        kept = []
+        for i, c in enumerate(self._learned):
+            if i < keep_from and c not in locked and len(c.lits) > 2:
+                removed.append(c)
+            else:
+                kept.append(c)
+        if not removed:
+            return
+        removed_set = set(map(id, removed))
+        for c in removed:
+            for w in (c.lits[0] ^ 1, c.lits[1] ^ 1):
+                self._watches[w] = [
+                    cl for cl in self._watches[w] if id(cl) not in removed_set
+                ]
+        self._learned = kept
+
+    # ------------------------------------------------------------------ #
+    # main search
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: int | None = None,
+    ) -> SolveResult:
+        """Search for a model consistent with ``assumptions``.
+
+        Args:
+            assumptions: DIMACS literals temporarily asserted true.
+            conflict_budget: abort (raising BudgetExhausted) after this
+                many conflicts, if given.
+        """
+        start_conf = self.stats_conflicts
+        start_dec = self.stats_decisions
+        start_prop = self.stats_propagations
+
+        def stats() -> dict[str, int]:
+            return dict(
+                conflicts=self.stats_conflicts - start_conf,
+                decisions=self.stats_decisions - start_dec,
+                propagations=self.stats_propagations - start_prop,
+            )
+
+        if not self._ok:
+            return SolveResult(False, None, **stats())
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        iassumps = [_lit_to_internal(l) for l in assumptions]
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return SolveResult(False, None, **stats())
+
+        restart_idx = 0
+        conflicts_until_restart = _luby(restart_idx) * 100
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats_conflicts += 1
+                conflicts_until_restart -= 1
+                if len(self._trail_lim) == 0:
+                    self._ok = False
+                    return SolveResult(False, None, **stats())
+                if len(self._trail_lim) <= len(iassumps):
+                    # conflict depends only on assumptions
+                    self._backtrack(0)
+                    return SolveResult(False, None, **stats())
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, 0)
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    self._backtrack(0)
+                    if not self._enqueue(learned[0], None):
+                        self._ok = False
+                        return SolveResult(False, None, **stats())
+                    # re-establish assumption prefix lazily via decisions
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._learned.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self._decay()
+                if conflict_budget is not None and (
+                    self.stats_conflicts - start_conf
+                ) >= conflict_budget:
+                    self._backtrack(0)
+                    raise BudgetExhausted(
+                        f"conflict budget {conflict_budget} exhausted"
+                    )
+                if len(self._learned) > self._max_learned:
+                    self._reduce_db()
+                    self._max_learned = int(self._max_learned * 1.3)
+                continue
+
+            if conflicts_until_restart <= 0 and len(self._trail_lim) > len(iassumps):
+                restart_idx += 1
+                conflicts_until_restart = _luby(restart_idx) * 100
+                self._backtrack(len(iassumps))
+                continue
+
+            # decision (assumption prefix first)
+            level = len(self._trail_lim)
+            if level < len(iassumps):
+                ilit = iassumps[level]
+                val = self._value(ilit)
+                if val == FALSE:
+                    self._backtrack(0)
+                    return SolveResult(False, None, **stats())
+                self._trail_lim.append(len(self._trail))
+                if val == UNASSIGNED:
+                    self._enqueue(ilit, None)
+                continue
+            v = self._pick_branch_var()
+            if v == 0:
+                model = {
+                    i: self._assign[i] == TRUE for i in range(1, self._n_vars + 1)
+                }
+                self._backtrack(0)
+                return SolveResult(True, model, **stats())
+            self.stats_decisions += 1
+            self._trail_lim.append(len(self._trail))
+            ilit = 2 * v + (0 if self._phase[v] == TRUE else 1)
+            self._enqueue(ilit, None)
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a conflict budget is exceeded (AppSAT-style early stop)."""
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence for 0-based ``i``: 1,1,2,1,1,2,4,..."""
+    n = i + 1  # 1-based position
+    while True:
+        k = n.bit_length()
+        if n == (1 << k) - 1:
+            return 1 << (k - 1)
+        n -= (1 << (k - 1)) - 1
+
+
+def solve_cnf(
+    cnf: CNF, assumptions: Sequence[int] = (), conflict_budget: int | None = None
+) -> SolveResult:
+    """One-shot convenience wrapper around :class:`Solver`."""
+    return Solver(cnf).solve(assumptions, conflict_budget)

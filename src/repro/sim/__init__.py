@@ -1,0 +1,52 @@
+"""Bit-parallel combinational simulation, pattern sources, and
+output-corruption metrics."""
+
+from .bitsim import (
+    BitSimulator,
+    broadcast_constant,
+    n_words,
+    pack_patterns,
+    popcount_words,
+    simulate_many,
+    tail_mask,
+    unpack_patterns,
+    words_for_assignment,
+)
+from .patterns import (
+    assignment_to_int,
+    exhaustive_words,
+    int_to_assignment,
+    random_assignments,
+    random_words,
+    weighted_words,
+)
+from .metrics import (
+    CorruptionReport,
+    circuits_equal_on_patterns,
+    functional_match_fraction,
+    hamming_distance_words,
+    measure_corruption,
+)
+
+__all__ = [
+    "BitSimulator",
+    "broadcast_constant",
+    "n_words",
+    "pack_patterns",
+    "popcount_words",
+    "simulate_many",
+    "tail_mask",
+    "unpack_patterns",
+    "words_for_assignment",
+    "assignment_to_int",
+    "exhaustive_words",
+    "int_to_assignment",
+    "random_assignments",
+    "random_words",
+    "weighted_words",
+    "CorruptionReport",
+    "circuits_equal_on_patterns",
+    "functional_match_fraction",
+    "hamming_distance_words",
+    "measure_corruption",
+]

@@ -1,0 +1,157 @@
+"""Output-corruption metrics for locked circuits.
+
+The headline metric is the paper's Hamming distance (HD): the average
+fraction of primary outputs that differ between the correctly-keyed circuit
+and a wrongly-keyed one, over many input patterns and several random wrong
+keys.  50% is optimal [3]; Table I reports per-circuit HD for OraP + WLL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..netlist import Netlist
+from .bitsim import BitSimulator, broadcast_constant, popcount_words, tail_mask
+from .patterns import random_words
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """HD measurement summary.
+
+    Attributes:
+        hd_percent: mean Hamming distance over outputs/patterns/keys, in %.
+        per_key_hd: HD% per sampled wrong key.
+        corrupted_pattern_fraction: fraction of patterns with >= 1 corrupted
+            output (output corruption probability).
+        n_patterns: patterns simulated per key.
+        n_keys: wrong keys sampled.
+    """
+
+    hd_percent: float
+    per_key_hd: tuple[float, ...]
+    corrupted_pattern_fraction: float
+    n_patterns: int
+    n_keys: int
+
+
+def hamming_distance_words(a: np.ndarray, b: np.ndarray, n_patterns: int) -> int:
+    """Total differing bits between two packed output matrices."""
+    diff = a ^ b
+    diff[:, -1] &= tail_mask(n_patterns)
+    return popcount_words(diff)
+
+
+def measure_corruption(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    correct_key: Mapping[str, int],
+    n_patterns: int = 2048,
+    n_keys: int = 16,
+    seed: int = 0,
+) -> CorruptionReport:
+    """Measure HD of a locked netlist under random wrong keys.
+
+    Simulates the same pseudorandom input block once with the correct key
+    and once per sampled wrong key; differences over all outputs are the HD.
+    """
+    key_set = set(key_inputs)
+    data_inputs = [i for i in locked.inputs if i not in key_set]
+    if not data_inputs:
+        raise ValueError("no non-key inputs to drive")
+    sim = BitSimulator(locked)
+    data_words = random_words(len(data_inputs), n_patterns, seed=seed)
+    nw = data_words.shape[1]
+
+    def run_with_key(key: Mapping[str, int]) -> np.ndarray:
+        in_words: dict[str, np.ndarray] = {
+            name: data_words[i] for i, name in enumerate(data_inputs)
+        }
+        for k in key_inputs:
+            in_words[k] = broadcast_constant(int(bool(key[k])), nw)
+        return sim.run_outputs(in_words)
+
+    golden = run_with_key(correct_key)
+    n_out = golden.shape[0]
+    rng = np.random.default_rng(seed + 1)
+    correct_vec = tuple(int(bool(correct_key[k])) for k in key_inputs)
+    per_key: list[float] = []
+    corrupted_patterns = np.zeros(nw, dtype=np.uint64)
+    for _ in range(n_keys):
+        while True:
+            vec = tuple(int(b) for b in rng.integers(0, 2, size=len(key_inputs)))
+            if vec != correct_vec:
+                break
+        wrong = {k: v for k, v in zip(key_inputs, vec)}
+        out = run_with_key(wrong)
+        diff = out ^ golden
+        diff[:, -1] &= tail_mask(n_patterns)
+        per_key.append(100.0 * popcount_words(diff) / (n_out * n_patterns))
+        any_diff = np.bitwise_or.reduce(diff, axis=0)
+        corrupted_patterns |= any_diff
+    frac = popcount_words(corrupted_patterns[None, :]) / n_patterns
+    return CorruptionReport(
+        hd_percent=float(np.mean(per_key)) if per_key else 0.0,
+        per_key_hd=tuple(per_key),
+        corrupted_pattern_fraction=frac,
+        n_patterns=n_patterns,
+        n_keys=n_keys,
+    )
+
+
+def functional_match_fraction(
+    a: Netlist,
+    b: Netlist,
+    n_patterns: int = 1024,
+    seed: int = 0,
+    inputs_a: Mapping[str, int] | None = None,
+    inputs_b: Mapping[str, int] | None = None,
+) -> float:
+    """Fraction of (pattern, output) pairs on which two circuits agree.
+
+    The circuits must have identical non-fixed input lists and identically
+    ordered output lists.  ``inputs_a``/``inputs_b`` pin some inputs of
+    either circuit (e.g. a key) to constants.
+    """
+    fixed_a = dict(inputs_a or {})
+    fixed_b = dict(inputs_b or {})
+    free_a = [i for i in a.inputs if i not in fixed_a]
+    free_b = [i for i in b.inputs if i not in fixed_b]
+    if free_a != free_b:
+        raise ValueError("free input lists must match (same names and order)")
+    if len(a.outputs) != len(b.outputs):
+        raise ValueError("output counts must match")
+    words = random_words(len(free_a), n_patterns, seed=seed)
+    nw = words.shape[1]
+
+    def run(netlist: Netlist, fixed: Mapping[str, int]) -> np.ndarray:
+        in_words = {name: words[i] for i, name in enumerate(free_a)}
+        for k, v in fixed.items():
+            in_words[k] = broadcast_constant(int(bool(v)), nw)
+        return BitSimulator(netlist).run_outputs(in_words)
+
+    out_a = run(a, fixed_a)
+    out_b = run(b, fixed_b)
+    differing = hamming_distance_words(out_a, out_b, n_patterns)
+    total = len(a.outputs) * n_patterns
+    return 1.0 - differing / total
+
+
+def circuits_equal_on_patterns(
+    a: Netlist,
+    b: Netlist,
+    n_patterns: int = 1024,
+    seed: int = 0,
+    inputs_a: Mapping[str, int] | None = None,
+    inputs_b: Mapping[str, int] | None = None,
+) -> bool:
+    """Simulation-based equivalence check (sound only as a refuter)."""
+    return (
+        functional_match_fraction(
+            a, b, n_patterns=n_patterns, seed=seed, inputs_a=inputs_a, inputs_b=inputs_b
+        )
+        == 1.0
+    )

@@ -1,0 +1,101 @@
+"""Pattern sources for simulation, HD measurement, and random-phase ATPG.
+
+The paper's HD experiment applies "long pseudorandom input sequences (a few
+hundreds of thousands of patterns)"; :func:`random_words` produces the packed
+equivalent directly, without materializing per-pattern rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .bitsim import n_words, tail_mask
+
+
+def random_words(
+    n_signals: int, n_patterns: int, seed: int | None = 0
+) -> np.ndarray:
+    """Uniform random packed patterns: ``(n_signals, n_words)`` uint64.
+
+    Bits beyond ``n_patterns`` in the final word are zeroed so that
+    popcount-based metrics need no extra masking when the caller also masks
+    (metrics in :mod:`repro.sim.metrics` mask defensively anyway).
+    """
+    rng = np.random.default_rng(seed)
+    nw = n_words(n_patterns)
+    words = rng.integers(0, 2**64, size=(n_signals, nw), dtype=np.uint64)
+    words[:, -1] &= tail_mask(n_patterns)
+    return words
+
+
+def exhaustive_words(n_signals: int) -> np.ndarray:
+    """All ``2**n_signals`` input combinations, packed.
+
+    Only sensible for small ``n_signals`` (<= 20); used by equivalence
+    checks in tests.
+    """
+    if n_signals > 20:
+        raise ValueError("exhaustive simulation limited to 20 signals")
+    n_pat = 1 << n_signals
+    nw = n_words(n_pat)
+    words = np.zeros((n_signals, nw), dtype=np.uint64)
+    idx = np.arange(n_pat, dtype=np.uint64)
+    for s in range(n_signals):
+        bits = (idx >> np.uint64(s)) & np.uint64(1)
+        packed = np.zeros(nw, dtype=np.uint64)
+        for w in range(nw):
+            chunk = bits[w * 64 : (w + 1) * 64]
+            val = 0
+            for b, bit in enumerate(chunk):
+                val |= int(bit) << b
+            packed[w] = val
+        words[s] = packed
+    return words
+
+
+def weighted_words(
+    n_signals: int,
+    n_patterns: int,
+    one_probability: float | Sequence[float],
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Biased random packed patterns (weighted-random test generation)."""
+    rng = np.random.default_rng(seed)
+    probs = np.broadcast_to(
+        np.asarray(one_probability, dtype=np.float64), (n_signals,)
+    )
+    nw = n_words(n_patterns)
+    words = np.zeros((n_signals, nw), dtype=np.uint64)
+    bits = rng.random((n_signals, nw * 64)) < probs[:, None]
+    shifts = np.uint64(1) << np.arange(64, dtype=np.uint64)
+    for w in range(nw):
+        chunk = bits[:, w * 64 : (w + 1) * 64].astype(np.uint64)
+        words[:, w] = (chunk * shifts).sum(axis=1, dtype=np.uint64)
+    words[:, -1] &= tail_mask(n_patterns)
+    return words
+
+
+def random_assignments(
+    names: Sequence[str], count: int, seed: int | None = 0
+) -> Iterator[dict[str, int]]:
+    """Scalar random assignments over the given names (test utility)."""
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        bits = rng.integers(0, 2, size=len(names))
+        yield {n: int(b) for n, b in zip(names, bits)}
+
+
+def int_to_assignment(value: int, names: Sequence[str]) -> dict[str, int]:
+    """Decode an integer into a per-name bit assignment (LSB = names[0])."""
+    return {n: (value >> i) & 1 for i, n in enumerate(names)}
+
+
+def assignment_to_int(assignment: dict[str, int], names: Sequence[str]) -> int:
+    """Inverse of :func:`int_to_assignment`."""
+    value = 0
+    for i, n in enumerate(names):
+        if assignment[n]:
+            value |= 1 << i
+    return value

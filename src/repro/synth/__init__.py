@@ -1,0 +1,26 @@
+"""AIG-based resynthesis substrate (ABC strash/refactor/rewrite stand-in)
+and the Table I area/delay overhead metrics."""
+
+from .aig import AIG, FALSE_LIT, TRUE_LIT, lit, lit_compl, lit_node, lit_not
+from .convert import aig_to_netlist, netlist_to_aig
+from .passes import optimize, refactor, rewrite, strash
+from .metrics import OverheadReport, measure_overhead, resynthesized_area_depth
+
+__all__ = [
+    "AIG",
+    "FALSE_LIT",
+    "TRUE_LIT",
+    "lit",
+    "lit_compl",
+    "lit_node",
+    "lit_not",
+    "aig_to_netlist",
+    "netlist_to_aig",
+    "optimize",
+    "refactor",
+    "rewrite",
+    "strash",
+    "OverheadReport",
+    "measure_overhead",
+    "resynthesized_area_depth",
+]

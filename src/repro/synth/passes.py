@@ -1,0 +1,141 @@
+"""AIG optimization passes: strash, rewrite, refactor (ABC-style roles).
+
+The paper normalizes both circuit versions with ABC's
+``strash -> refactor -> rewrite`` before comparing gate counts and levels;
+:func:`optimize` applies the same pipeline here:
+
+* **strash** — reconstruct with structural hashing and constant folding
+  (duplicate-cone sharing);
+* **rewrite** — local two-level simplifications during reconstruction
+  (absorption, complement annihilation through one AND level);
+* **refactor** — collect single-fanout AND chains into n-ary conjunctions
+  and rebuild them as balanced trees (depth reduction).
+"""
+
+from __future__ import annotations
+
+from .aig import AIG, FALSE_LIT, lit, lit_compl, lit_node, lit_not
+
+
+def _fanout_counts(aig: AIG) -> dict[int, int]:
+    live = aig.live_nodes()
+    counts: dict[int, int] = {}
+    for n in live:
+        for f in (aig.fanin0[n], aig.fanin1[n]):
+            counts[lit_node(f)] = counts.get(lit_node(f), 0) + 1
+    for o in aig.outputs:
+        counts[lit_node(o)] = counts.get(lit_node(o), 0) + 1
+    return counts
+
+
+def _rebuild(aig: AIG, simplify: bool, balance: bool) -> AIG:
+    """Reconstruct the live cone into a fresh AIG."""
+    out = AIG()
+    mapping: dict[int, int] = {0: FALSE_LIT}
+    for name in aig.pi_names:
+        pass_lit = out.add_pi(name)
+        mapping[lit_node(pass_lit)] = pass_lit  # placeholder; fixed below
+    # map old PI nodes to new PI literals (ids coincide by construction)
+    mapping = {0: FALSE_LIT}
+    for old_node, name in zip(aig.pis, aig.pi_names):
+        mapping[old_node] = lit(old_node)  # same id in the new AIG
+
+    fanout = _fanout_counts(aig) if balance else {}
+
+    def map_lit(old: int) -> int:
+        node = lit_node(old)
+        new = mapping[node]
+        return lit_not(new) if lit_compl(old) else new
+
+    def add_simplified(a: int, b: int) -> int:
+        if simplify:
+            # absorption / annihilation one level deep:  a & (x & y)
+            for left, right in ((a, b), (b, a)):
+                node = lit_node(right)
+                if out.is_and(node) and not lit_compl(right):
+                    x, y = out.fanin0[node], out.fanin1[node]
+                    if left == x or left == y:
+                        return right  # a & (a & y) = a & y
+                    if left == lit_not(x) or left == lit_not(y):
+                        return FALSE_LIT  # a & (!a & y) = 0
+                if out.is_and(node) and lit_compl(right):
+                    x, y = out.fanin0[node], out.fanin1[node]
+                    # a & !(a & y) = a & !y ;  a & !(!a & y) = a
+                    if left == x:
+                        return out.add_and(left, lit_not(y))
+                    if left == y:
+                        return out.add_and(left, lit_not(x))
+                    if left == lit_not(x) or left == lit_not(y):
+                        return left
+            return out.add_and(a, b)
+        return out.add_and(a, b)
+
+    live = aig.live_nodes()
+
+    def flatten(node: int, acc: list[int]) -> None:
+        """Collect leaves of a single-fanout AND tree rooted at node."""
+        for f in (aig.fanin0[node], aig.fanin1[node]):
+            fn = lit_node(f)
+            if (
+                not lit_compl(f)
+                and aig.is_and(fn)
+                and fanout.get(fn, 0) == 1
+            ):
+                flatten(fn, acc)
+            else:
+                acc.append(f)
+
+    order = [n for n in range(len(aig.pis) + 1, aig.n_nodes) if n in live]
+    skipped: set[int] = set()
+    for n in order:
+        if n in skipped:
+            continue
+        if balance:
+            # if this node is an internal single-fanout AND of a larger
+            # conjunction, defer to the root (it will flatten through us)
+            pass
+        if balance and fanout.get(n, 0) != 1:
+            leaves: list[int] = []
+            flatten(n, leaves)
+            if len(leaves) > 2:
+                mapped = [map_lit(f) for f in leaves]
+                mapping[n] = out.add_and_multi(mapped)
+                continue
+        a = map_lit(aig.fanin0[n])
+        b = map_lit(aig.fanin1[n])
+        mapping[n] = add_simplified(a, b)
+    # internal nodes consumed by flatten still need mappings when balance
+    # skipped them: map lazily for any output referencing them
+    for o, name in zip(aig.outputs, aig.output_names):
+        node = lit_node(o)
+        if node not in mapping:
+            # rebuild directly (rare: single-fanout node used as output)
+            a = map_lit(aig.fanin0[node])
+            b = map_lit(aig.fanin1[node])
+            mapping[node] = add_simplified(a, b)
+        out.add_output(map_lit(o), name)
+    return out
+
+
+def strash(aig: AIG) -> AIG:
+    """Structural hashing / constant-folding rebuild."""
+    return _rebuild(aig, simplify=False, balance=False)
+
+
+def rewrite(aig: AIG) -> AIG:
+    """Local two-level simplification rebuild."""
+    return _rebuild(aig, simplify=True, balance=False)
+
+
+def refactor(aig: AIG) -> AIG:
+    """Balance single-fanout AND chains (depth reduction)."""
+    return _rebuild(aig, simplify=False, balance=True)
+
+
+def optimize(aig: AIG, rounds: int = 1) -> AIG:
+    """The paper's pipeline: strash -> refactor -> rewrite (per round)."""
+    cur = strash(aig)
+    for _ in range(rounds):
+        cur = refactor(cur)
+        cur = rewrite(cur)
+    return cur

@@ -1,0 +1,60 @@
+"""Sect. III threat scenarios (a)-(e) as executable Trojan transforms with
+payload gate-cost accounting."""
+
+from .costs import (
+    GE_AND2,
+    GE_DFF,
+    GE_INV,
+    GE_MUX2,
+    GE_NAND2,
+    GE_NAND2_TO_NAND3,
+    GE_NAND3,
+    GE_XOR2,
+    ge,
+)
+from .detection import (
+    DetectabilityReport,
+    ThreatDetectabilityRow,
+    assess_threat_detectability,
+    circuit_power_weights,
+    detection_vs_segmentation,
+    switching_activity,
+    trojan_detectability,
+)
+from .scenarios import (
+    ThreatReport,
+    execute_freeze_attack,
+    run_all_threats,
+    threat_a_per_cell_suppression,
+    threat_b_lfsr_bypass,
+    threat_c_shadow_register,
+    threat_d_xor_trees,
+    threat_e_flop_freeze,
+)
+
+__all__ = [
+    "GE_AND2",
+    "GE_DFF",
+    "GE_INV",
+    "GE_MUX2",
+    "GE_NAND2",
+    "GE_NAND2_TO_NAND3",
+    "GE_NAND3",
+    "GE_XOR2",
+    "ge",
+    "DetectabilityReport",
+    "ThreatDetectabilityRow",
+    "assess_threat_detectability",
+    "circuit_power_weights",
+    "detection_vs_segmentation",
+    "switching_activity",
+    "trojan_detectability",
+    "ThreatReport",
+    "execute_freeze_attack",
+    "run_all_threats",
+    "threat_a_per_cell_suppression",
+    "threat_b_lfsr_bypass",
+    "threat_c_shadow_register",
+    "threat_d_xor_trees",
+    "threat_e_flop_freeze",
+]

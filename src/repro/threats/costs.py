@@ -1,0 +1,27 @@
+"""Gate-equivalent cost model for Trojan payload accounting.
+
+The paper argues each OraP countermeasure forces the Trojan payload to
+grow until side-channel detection (e.g. [25]) becomes feasible; payloads
+are compared in NAND2 gate equivalents (GE), the customary unit.
+"""
+
+from __future__ import annotations
+
+#: NAND2-equivalents of common cells (typical standard-cell figures)
+GE_NAND2 = 1.0
+GE_NAND3 = 1.5
+GE_MUX2 = 3.0
+GE_DFF = 6.0
+GE_XOR2 = 2.5
+GE_INV = 0.5
+GE_AND2 = 1.5
+
+#: replacing a pulse generator's NAND2 with a NAND3 costs the difference —
+#: the paper states an 128-bit register costs "roughly 64 NAND2 gates",
+#: i.e. 0.5 GE per cell
+GE_NAND2_TO_NAND3 = GE_NAND3 - GE_NAND2
+
+
+def ge(value: float) -> float:
+    """Round a GE figure for reporting."""
+    return round(value, 1)

@@ -1,0 +1,12 @@
+"""Test-suite configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# property tests build netlists and run simulators inside strategies;
+# generous deadlines keep them deterministic on slow CI boxes
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,105 @@
+"""Tests for BENCH parsing and writing."""
+
+import pytest
+
+from repro.bench import c17
+from repro.netlist import (
+    NetlistError,
+    parse_bench,
+    parse_bench_combinational,
+    write_bench,
+)
+
+SEQ_TEXT = """
+# tiny sequential
+INPUT(x)
+OUTPUT(y)
+q = DFF(d)
+n = NOT(q)
+d = AND(x, n)
+y = OR(q, x)
+"""
+
+
+class TestParse:
+    def test_c17_structure(self):
+        nl = c17()
+        assert len(nl.inputs) == 5
+        assert nl.outputs == ["G22", "G23"]
+        assert nl.num_gates() == 6
+
+    def test_c17_known_vectors(self):
+        nl = c17()
+        out = nl.evaluate_outputs({"G1": 0, "G2": 0, "G3": 0, "G6": 0, "G7": 0})
+        assert out == {"G22": 0, "G23": 0}
+        out = nl.evaluate_outputs({"G1": 1, "G2": 1, "G3": 1, "G6": 1, "G7": 1})
+        assert out == {"G22": 1, "G23": 0}
+
+    def test_sequential_parse(self):
+        seq = parse_bench(SEQ_TEXT, name="tiny")
+        assert len(seq.flops) == 1
+        ff = seq.flops[0]
+        assert ff.q == "q" and ff.d == "d"
+        assert seq.primary_inputs == ["x"]
+        assert seq.primary_outputs == ["y"]
+
+    def test_sequential_semantics(self):
+        seq = parse_bench(SEQ_TEXT)
+        st = seq.reset_state()
+        st, po = seq.next_state(st, {"x": 1})
+        assert st == {"ff_q": 1}  # d = AND(1, NOT(0)) = 1
+        assert po == {"y": 1}
+        st, po = seq.next_state(st, {"x": 1})
+        assert st == {"ff_q": 0}  # d = AND(1, NOT(1)) = 0
+
+    def test_combinational_rejects_dff(self):
+        with pytest.raises(NetlistError):
+            parse_bench_combinational(SEQ_TEXT)
+
+    def test_comments_and_blank_lines(self):
+        text = "#c\n\nINPUT(a)\n # another\nOUTPUT(y)\ny = BUFF(a)\n"
+        nl = parse_bench_combinational(text)
+        assert nl.evaluate_outputs({"a": 1})["y"] == 1
+
+    def test_inv_alias(self):
+        nl = parse_bench_combinational("INPUT(a)\nOUTPUT(y)\ny = INV(a)\n")
+        assert nl.evaluate_outputs({"a": 1})["y"] == 0
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench_combinational("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench_combinational("INPUT(a)\nwhat is this\n")
+
+    def test_multi_input_dff_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nq = DFF(a, a)\n")
+
+
+class TestWrite:
+    def test_roundtrip_combinational(self):
+        nl = c17()
+        text = write_bench(nl)
+        back = parse_bench_combinational(text, name="c17rt")
+        for a in (0, 1):
+            for b in (0, 1):
+                asg = {"G1": a, "G2": b, "G3": 1, "G6": 0, "G7": a}
+                assert back.evaluate_outputs(asg) == nl.evaluate_outputs(asg)
+
+    def test_roundtrip_sequential(self):
+        seq = parse_bench(SEQ_TEXT)
+        text = write_bench(seq)
+        back = parse_bench(text)
+        assert len(back.flops) == 1
+        st1, po1 = seq.next_state(seq.reset_state(), {"x": 1})
+        st2, po2 = back.next_state(back.reset_state(), {"x": 1})
+        assert po1 == po2
+        assert list(st1.values()) == list(st2.values())
+
+    def test_write_contains_io_decls(self):
+        text = write_bench(c17())
+        assert "INPUT(G1)" in text
+        assert "OUTPUT(G22)" in text
+        assert "NAND(" in text

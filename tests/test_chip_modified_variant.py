@@ -1,0 +1,103 @@
+"""Additional coverage for the modified OraP scheme's chip behaviour."""
+
+import random
+
+import pytest
+
+from repro.bench import GeneratorConfig, SequentialConfig, generate_sequential
+from repro.locking import WLLConfig
+from repro.orap import OraPConfig, TrojanHooks, protect
+
+
+@pytest.fixture(scope="module")
+def modified():
+    design = generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=10, n_outputs=16, n_gates=140, depth=7, seed=19,
+                name="mod",
+            ),
+            n_flops=10,
+        )
+    )
+    return protect(
+        design,
+        orap=OraPConfig(variant="modified"),
+        wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+        rng=23,
+    )
+
+
+class TestModifiedUnlock:
+    def test_responses_really_feed_the_lfsr(self, modified):
+        """Running the unlock with the response points disconnected (as if
+        the attacker cut them) must NOT produce the correct key."""
+        chip = modified.build_chip()
+        chip.reset()
+        kr = chip.key_register
+        kr.begin_unlock()
+        n_points = kr.config.n_reseed
+        for word in modified.key_sequence.word_stream():
+            bits = [0] * n_points
+            if word is not None:
+                for p, b in zip(modified.memory_points, word):
+                    bits[chip._point_index[p]] = int(b)
+            # deliberately omit the response-flop contributions
+            kr.unlock_step(bits)
+        kr.freeze()
+        assert kr.key_bits() != list(modified.locked.key_vector())
+
+    def test_unlock_from_non_reset_state_fails(self, modified):
+        """The planner assumed the reset state; starting the unlock from a
+        scan-loaded state changes the response stream and poisons the key
+        (the very property defeating the freeze attack)."""
+        chip = modified.build_chip()
+        chip.reset()
+        rng = random.Random(3)
+        state = {ff.name: rng.randrange(2) for ff in modified.design.flops}
+        if all(v == 0 for v in state.values()):
+            state[modified.design.flops[0].name] = 1
+        chip.enter_scan_mode()
+        chip.scan_load(state)
+        chip.leave_scan_mode()
+        # don't reset: unlock with the tampered state
+        chip.unlock()
+        # with overwhelming probability the responses differed
+        assert not chip.is_unlocked()
+
+    def test_normal_unlock_still_fine_after_tamper_attempt(self, modified):
+        chip = modified.build_chip()
+        chip.reset()
+        chip.unlock()
+        assert chip.is_unlocked()
+
+    def test_double_unlock_is_not_idempotent(self, modified):
+        """Running the unlock sequence twice shifts the LFSR past the key:
+        the controller must freeze after the planned cycle count."""
+        chip = modified.build_chip()
+        chip.reset()
+        chip.unlock()
+        key_after_first = chip.key_register.key_bits()
+        chip.key_register.begin_unlock()
+        chip.key_register.unlock_step([0] * chip.key_register.config.n_reseed)
+        chip.key_register.freeze()
+        assert chip.key_register.key_bits() != key_after_first
+
+
+class TestModifiedWithTrojans:
+    def test_shadow_register_still_works(self, modified):
+        """Threat (c) is variant-independent: the shadow samples whatever
+        the (correctly unlocked) register holds at scan entry."""
+        hooks = TrojanHooks()
+        chip = modified.build_chip(trojan=hooks)
+        chip.reset()
+        chip.unlock()
+        hooks.shadow_register = True
+        chip.enter_scan_mode()
+        assert chip.shadow_state == list(modified.locked.key_vector())
+
+    def test_freeze_trojan_blocks_unlock(self, modified):
+        chip = modified.build_chip(trojan=TrojanHooks(freeze_normal_ffs=True))
+        chip.reset()
+        chip.unlock()
+        assert not chip.is_unlocked()

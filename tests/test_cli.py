@@ -1,0 +1,46 @@
+"""Smoke tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_protocol_subcommand(self, capsys):
+        assert main(["protocol"]) == 0
+        out = capsys.readouterr().out
+        assert "OraP protocol checks" in out
+        assert out.count("yes") >= 12
+
+    def test_trojans_subcommand(self, capsys):
+        assert main(["trojans"]) == 0
+        out = capsys.readouterr().out
+        assert "Trojan scenarios" in out
+        assert "128-bit" in out
+
+    def test_table1_with_args(self, capsys):
+        assert (
+            main(
+                [
+                    "table1",
+                    "--scale",
+                    "0.004",
+                    "--circuits",
+                    "b20",
+                    "--patterns",
+                    "256",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "b20" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,107 @@
+"""Tests for the power side-channel detectability model (ref. [25])."""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_netlist
+from repro.threats.detection import (
+    DetectabilityReport,
+    circuit_power_weights,
+    detection_vs_segmentation,
+    switching_activity,
+    trojan_detectability,
+)
+
+
+@pytest.fixture(scope="module")
+def host():
+    return generate_netlist(
+        GeneratorConfig(
+            n_inputs=16, n_outputs=12, n_gates=300, depth=9, seed=13, name="host"
+        )
+    )
+
+
+class TestActivity:
+    def test_activity_in_unit_range(self, host):
+        act = switching_activity(host, n_pattern_pairs=256)
+        assert act
+        for net, a in act.items():
+            assert 0.0 <= a <= 1.0
+
+    def test_balanced_nets_toggle_often(self, host):
+        """Probability-balanced circuits toggle near 0.5 on average."""
+        act = switching_activity(host, n_pattern_pairs=512)
+        internal = [
+            a for n, a in act.items() if not host.gate(n).gtype.is_source
+        ]
+        mean = sum(internal) / len(internal)
+        assert 0.3 <= mean <= 0.6
+
+    def test_weights_zero_for_sources(self, host):
+        w = circuit_power_weights(host)
+        for i in host.inputs:
+            assert w[i] == 0.0
+
+
+class TestDetectability:
+    def test_large_payload_detectable(self, host):
+        rep = trojan_detectability(host, payload_ge=100.0, n_segments=8)
+        assert isinstance(rep, DetectabilityReport)
+        assert rep.detectable
+        assert rep.z_score >= rep.threshold
+
+    def test_tiny_payload_hides_in_one_segment(self, host):
+        rep = trojan_detectability(host, payload_ge=0.5, n_segments=1)
+        assert not rep.detectable
+
+    def test_z_monotone_in_payload(self, host):
+        z = [
+            trojan_detectability(host, payload_ge=p, n_segments=8).z_score
+            for p in (1.0, 10.0, 100.0)
+        ]
+        assert z[0] < z[1] < z[2]
+
+    def test_segmentation_raises_detection(self, host):
+        """The [25] lever: finer partitioning shrinks the hiding baseline."""
+        rows = detection_vs_segmentation(
+            host, payload_ge=6.0, segment_counts=(1, 4, 16)
+        )
+        zs = [z for _, z, _ in rows]
+        assert zs[0] < zs[1] < zs[2]
+
+    def test_threat_a_at_paper_size_detectable(self, host):
+        """The paper's 128-bit threat-(a) payload (~64 GE) must be
+        detectable with modest partitioning on a mid-size host."""
+        rep = trojan_detectability(host, payload_ge=64.0, n_segments=8)
+        assert rep.detectable
+
+    def test_empty_circuit_rejected(self):
+        from repro.netlist import Netlist
+
+        nl = Netlist("empty")
+        nl.add_input("a")
+        nl.set_outputs(["a"])
+        with pytest.raises(ValueError):
+            trojan_detectability(nl, payload_ge=1.0)
+
+
+class TestAssessIntegration:
+    def test_assess_threat_detectability_rows(self, host):
+        from repro.threats import ThreatReport, assess_threat_detectability
+
+        reports = [
+            ThreatReport("a: x", True, 64.0),
+            ThreatReport("e: y", True, 2.0),
+        ]
+        rows = assess_threat_detectability(host, reports, n_segments=8)
+        assert len(rows) == 2
+        assert rows[0].detectable and not rows[1].detectable
+        assert rows[0].z_score > rows[1].z_score
+
+    def test_trojan_table_carries_detectability(self):
+        from repro.experiments import run_trojan_table
+
+        rows = run_trojan_table(seed=7)
+        by = {(r.variant, r.scenario[0]): r for r in rows}
+        assert by[("basic", "d")].detection_z > by[("basic", "e")].detection_z
+        assert not by[("basic", "e")].detectable

@@ -1,0 +1,79 @@
+"""Tests for the FALL attack (oracle-less, cube-stripping specific)."""
+
+import pytest
+
+from repro.attacks import (
+    fall_attack,
+    find_restore_units,
+    key_is_correct,
+    recover_stripped_cube,
+)
+from repro.bench import GeneratorConfig, generate_netlist
+from repro.locking import WLLConfig, lock_random, lock_ttlock, lock_weighted
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate_netlist(
+        GeneratorConfig(
+            n_inputs=12, n_outputs=8, n_gates=90, depth=6, seed=3, name="f"
+        )
+    )
+
+
+class TestStages:
+    def test_restore_unit_found(self, circuit):
+        tt = lock_ttlock(circuit, key_width=8, rng=5)
+        matches = find_restore_units(tt.locked, tt.key_inputs)
+        assert matches
+        best = matches[0]
+        assert len(best.pairs) == 8
+        assert set(best.pairs) == set(tt.key_inputs)
+        assert set(best.pairs.values()) == set(tt.extra["compared_inputs"])
+
+    def test_cube_recovered_matches_secret(self, circuit):
+        tt = lock_ttlock(circuit, key_width=8, rng=5)
+        cube = recover_stripped_cube(tt.locked, tt.extra["compared_inputs"])
+        assert cube is not None
+        secret = dict(zip(tt.extra["compared_inputs"], tt.extra["secret_cube"]))
+        assert cube == secret
+
+    def test_no_restore_unit_in_wll(self, circuit):
+        wll = lock_weighted(
+            circuit, WLLConfig(key_width=9, control_width=3, n_key_gates=4),
+            rng=5,
+        )
+        assert find_restore_units(wll.locked, wll.key_inputs) == []
+
+
+class TestEndToEnd:
+    def test_breaks_ttlock_without_oracle(self, circuit):
+        tt = lock_ttlock(circuit, key_width=8, rng=5)
+        res = fall_attack(tt.locked, tt.key_inputs)
+        assert res.completed
+        assert res.oracle_queries == 0
+        assert key_is_correct(tt, res.recovered_key)
+        assert res.notes["confirmed"]
+
+    @pytest.mark.parametrize("seed", [1, 7, 11])
+    def test_breaks_ttlock_across_seeds(self, circuit, seed):
+        tt = lock_ttlock(circuit, key_width=6, rng=seed)
+        res = fall_attack(tt.locked, tt.key_inputs)
+        assert res.completed
+        assert key_is_correct(tt, res.recovered_key)
+
+    def test_not_applicable_to_wll(self, circuit):
+        """The paper: FALL 'can be applied only to locking methods that
+        use cube stripping' — OraP's companion WLL has no such structure."""
+        wll = lock_weighted(
+            circuit, WLLConfig(key_width=9, control_width=3, n_key_gates=4),
+            rng=5,
+        )
+        res = fall_attack(wll.locked, wll.key_inputs)
+        assert not res.completed
+        assert "not applicable" in res.notes["reason"]
+
+    def test_not_applicable_to_rll(self, circuit):
+        rll = lock_random(circuit, key_width=6, rng=5)
+        res = fall_attack(rll.locked, rll.key_inputs)
+        assert not res.completed

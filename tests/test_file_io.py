@@ -1,0 +1,56 @@
+"""File-level I/O round trips (BENCH, Verilog, DIMACS)."""
+
+from repro.bench import c17, s27_like
+from repro.netlist import load_bench, save_bench, save_verilog
+from repro.sat import CNF
+from repro.sim import circuits_equal_on_patterns
+
+
+class TestBenchFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        save_bench(c17(), path)
+        back = load_bench(path)
+        assert not back.flops
+        assert circuits_equal_on_patterns(c17(), back.core, n_patterns=64)
+
+    def test_sequential_save_load(self, tmp_path):
+        path = tmp_path / "s27.bench"
+        seq = s27_like()
+        save_bench(seq, path)
+        back = load_bench(path)
+        assert len(back.flops) == 3
+        st1, po1 = seq.next_state(
+            seq.reset_state(), {"G0": 1, "G1": 0, "G2": 1, "G3": 0}
+        )
+        # flop names differ across the roundtrip; compare by Q nets
+        st2, po2 = back.next_state(
+            back.reset_state(), {"G0": 1, "G1": 0, "G2": 1, "G3": 0}
+        )
+        assert po1 == po2
+
+    def test_load_uses_stem_as_name(self, tmp_path):
+        path = tmp_path / "mycircuit.bench"
+        save_bench(c17(), path)
+        back = load_bench(path)
+        assert back.name == "mycircuit"
+
+
+class TestVerilogFiles:
+    def test_save(self, tmp_path):
+        path = tmp_path / "c17.v"
+        save_verilog(c17(), path)
+        text = path.read_text()
+        assert "module c17" in text
+
+
+class TestDimacsFiles:
+    def test_save_load(self, tmp_path):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        cnf.add_clause([3])
+        path = tmp_path / "f.cnf"
+        cnf.save_dimacs(path)
+        back = CNF.load_dimacs(path)
+        assert back.clauses == cnf.clauses
+        assert back.n_vars == 3

@@ -1,0 +1,135 @@
+"""Unit tests for the gate primitives."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import (
+    Gate,
+    GateType,
+    controlled_response,
+    controlling_value,
+    evaluate_gate,
+)
+
+
+class TestGateType:
+    def test_sources_have_no_fanin(self):
+        for t in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            assert t.is_source
+            assert t.min_fanin == 0
+            assert t.max_fanin == 0
+
+    def test_single_input_gates(self):
+        for t in (GateType.BUF, GateType.NOT):
+            assert t.min_fanin == 1
+            assert t.max_fanin == 1
+
+    def test_multi_input_gates_unbounded(self):
+        for t in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                  GateType.XOR, GateType.XNOR):
+            assert t.min_fanin == 2
+            assert t.max_fanin is None
+
+    def test_mux_is_three_input(self):
+        assert GateType.MUX.min_fanin == 3
+        assert GateType.MUX.max_fanin == 3
+
+    def test_inverting_flags(self):
+        assert GateType.NAND.is_inverting
+        assert GateType.NOR.is_inverting
+        assert GateType.XNOR.is_inverting
+        assert GateType.NOT.is_inverting
+        assert not GateType.AND.is_inverting
+        assert not GateType.XOR.is_inverting
+
+    def test_base_types(self):
+        assert GateType.NAND.base_type() is GateType.AND
+        assert GateType.NOR.base_type() is GateType.OR
+        assert GateType.XNOR.base_type() is GateType.XOR
+        assert GateType.NOT.base_type() is GateType.BUF
+        assert GateType.AND.base_type() is GateType.AND
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_and_nand_truth(self, n):
+        for bits in itertools.product([0, 1], repeat=n):
+            want = int(all(bits))
+            assert evaluate_gate(GateType.AND, bits) == want
+            assert evaluate_gate(GateType.NAND, bits) == 1 - want
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_or_nor_truth(self, n):
+        for bits in itertools.product([0, 1], repeat=n):
+            want = int(any(bits))
+            assert evaluate_gate(GateType.OR, bits) == want
+            assert evaluate_gate(GateType.NOR, bits) == 1 - want
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_xor_xnor_truth(self, n):
+        for bits in itertools.product([0, 1], repeat=n):
+            want = sum(bits) % 2
+            assert evaluate_gate(GateType.XOR, bits) == want
+            assert evaluate_gate(GateType.XNOR, bits) == 1 - want
+
+    def test_not_buf(self):
+        assert evaluate_gate(GateType.NOT, [0]) == 1
+        assert evaluate_gate(GateType.NOT, [1]) == 0
+        assert evaluate_gate(GateType.BUF, [0]) == 0
+        assert evaluate_gate(GateType.BUF, [1]) == 1
+
+    def test_mux(self):
+        for s, d0, d1 in itertools.product([0, 1], repeat=3):
+            want = d1 if s else d0
+            assert evaluate_gate(GateType.MUX, [s, d0, d1]) == want
+
+    def test_constants(self):
+        assert evaluate_gate(GateType.CONST0, []) == 0
+        assert evaluate_gate(GateType.CONST1, []) == 1
+
+    def test_input_has_no_function(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+    def test_truthy_values_are_normalized(self):
+        assert evaluate_gate(GateType.AND, [2, 7]) == 1
+
+
+class TestControllingValues:
+    def test_and_family(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+        assert controlled_response(GateType.AND) == 0
+        assert controlled_response(GateType.NAND) == 1
+
+    def test_or_family(self):
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+        assert controlled_response(GateType.OR) == 1
+        assert controlled_response(GateType.NOR) == 0
+
+    def test_xor_has_none(self):
+        assert controlling_value(GateType.XOR) is None
+        assert controlled_response(GateType.XNOR) is None
+
+
+class TestGateDataclass:
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateType.AND, ("a",))
+        with pytest.raises(ValueError):
+            Gate("g", GateType.NOT, ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate("g", GateType.MUX, ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate("g", GateType.INPUT, ("a",))
+
+    def test_fanin_is_tuple(self):
+        g = Gate("g", GateType.AND, ["a", "b"])
+        assert g.fanin == ("a", "b")
+
+    def test_evaluate_method(self):
+        g = Gate("g", GateType.NOR, ("a", "b"))
+        assert g.evaluate([0, 0]) == 1
+        assert g.evaluate([1, 0]) == 0

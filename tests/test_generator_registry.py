@@ -1,0 +1,227 @@
+"""Tests for the synthetic generator, paper registry, fixtures, analysis."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_CIRCUITS,
+    PAPER_ORDER,
+    GeneratorConfig,
+    SequentialConfig,
+    build_paper_circuit,
+    equality_checker,
+    generate_netlist,
+    generate_sequential,
+    majority,
+    mini_alu,
+    parity_tree,
+    ripple_adder,
+    scaled_key_size,
+)
+from repro.netlist import (
+    critical_path,
+    nets_on_critical_paths,
+    observability_depths,
+    output_cone,
+    select_high_impact_nets,
+    signal_probabilities,
+)
+from repro.sim import BitSimulator, popcount_words, random_words
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        cfg = GeneratorConfig(n_inputs=10, n_outputs=8, n_gates=80, seed=3, name="d")
+        a = generate_netlist(cfg)
+        b = generate_netlist(cfg)
+        assert a.nets == b.nets
+        assert [g.fanin for g in a.gates()] == [g.fanin for g in b.gates()]
+
+    def test_io_counts(self):
+        nl = generate_netlist(
+            GeneratorConfig(n_inputs=12, n_outputs=9, n_gates=100, seed=1)
+        )
+        assert len(nl.inputs) == 12
+        assert len(nl.outputs) == 9
+        nl.validate()
+
+    def test_gate_count_close_to_target(self):
+        nl = generate_netlist(
+            GeneratorConfig(n_inputs=16, n_outputs=10, n_gates=200, seed=4)
+        )
+        assert 120 <= nl.num_gates() <= 200  # pruning may trim some
+
+    def test_probability_balance(self):
+        """The probability-aware selection keeps nets testable (no drift
+        to the rails) — the property behind realistic fault coverage."""
+        nl = generate_netlist(
+            GeneratorConfig(n_inputs=20, n_outputs=12, n_gates=300, depth=10, seed=5)
+        )
+        sim = BitSimulator(nl)
+        w = random_words(len(nl.inputs), 2048, seed=0)
+        vals = sim.run({n: w[i] for i, n in enumerate(nl.inputs)})
+        near_rail = 0
+        for net in nl.nets:
+            p = popcount_words(vals[sim.net_index(net)][None, :]) / 2048
+            if p < 0.02 or p > 0.98:
+                near_rail += 1
+        assert near_rail / len(nl.nets) < 0.05
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            generate_netlist(GeneratorConfig(n_inputs=1, n_outputs=1, n_gates=10))
+        with pytest.raises(ValueError):
+            generate_netlist(GeneratorConfig(n_inputs=4, n_outputs=0, n_gates=10))
+        with pytest.raises(ValueError):
+            generate_netlist(GeneratorConfig(n_inputs=4, n_outputs=20, n_gates=10))
+
+    def test_sequential_generation(self):
+        seq = generate_sequential(
+            SequentialConfig(
+                comb=GeneratorConfig(n_inputs=8, n_outputs=12, n_gates=90, seed=2),
+                n_flops=6,
+                n_scan_chains=2,
+            )
+        )
+        assert seq.state_width == 6
+        assert len(seq.scan_chains) == 2
+        seq.validate()
+
+    def test_sequential_needs_spare_outputs(self):
+        with pytest.raises(ValueError):
+            generate_sequential(
+                SequentialConfig(
+                    comb=GeneratorConfig(n_inputs=8, n_outputs=4, n_gates=50, seed=2),
+                    n_flops=4,
+                )
+            )
+
+
+class TestRegistry:
+    def test_all_eight_circuits_present(self):
+        assert len(PAPER_ORDER) == 8
+        assert set(PAPER_ORDER) == set(PAPER_CIRCUITS)
+
+    def test_published_values_match_table1(self):
+        s = PAPER_CIRCUITS["s38417"]
+        assert s.gates == 8709
+        assert s.lfsr_size == 256
+        assert s.hd_percent == 39.45
+        b19 = PAPER_CIRCUITS["b19"]
+        assert b19.gates == 196855
+        assert b19.control_inputs == 5
+
+    def test_published_values_match_table2(self):
+        b17 = PAPER_CIRCUITS["b17"]
+        assert b17.fc_original == 97.23
+        assert b17.red_abrt_original == 2122
+        assert b17.fc_protected == 99.08
+        assert b17.red_abrt_protected == 717
+
+    def test_build_scaled(self):
+        nl = build_paper_circuit("b20", scale=0.01)
+        assert nl.num_gates() > 50
+        nl.validate()
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError):
+            build_paper_circuit("c6288")
+
+    def test_scaled_key_size(self):
+        assert scaled_key_size("s38417", 1.0) == 256
+        small = scaled_key_size("s38417", 0.02)
+        assert 12 <= small < 256
+        assert scaled_key_size("b18", 0.001) >= 15  # floor: 3*ctrl_inputs=15
+
+
+class TestFixtures:
+    def test_adder_matches_integer_addition(self):
+        nl = ripple_adder(4)
+        for a in range(16):
+            for b in (0, 5, 15):
+                asg = {f"a{i}": (a >> i) & 1 for i in range(4)}
+                asg.update({f"b{i}": (b >> i) & 1 for i in range(4)})
+                asg["cin"] = 0
+                out = nl.evaluate_outputs(asg)
+                got = sum(out[f"s{i}"] << i for i in range(4)) + (out["c3"] << 4)
+                assert got == a + b
+
+    def test_alu_operations(self):
+        nl = mini_alu(4)
+        a, b = 0b1100, 0b1010
+        for op, fn in [
+            (0, lambda x, y: x & y),
+            (1, lambda x, y: x | y),
+            (2, lambda x, y: x ^ y),
+            (3, lambda x, y: (x + y) & 0xF),
+        ]:
+            asg = {f"a{i}": (a >> i) & 1 for i in range(4)}
+            asg.update({f"b{i}": (b >> i) & 1 for i in range(4)})
+            asg["op0"] = op & 1
+            asg["op1"] = (op >> 1) & 1
+            out = nl.evaluate_outputs(asg)
+            got = sum(out[f"y{i}"] << i for i in range(4))
+            assert got == fn(a, b), op
+
+    def test_parity_tree(self):
+        nl = parity_tree(8)
+        asg = {f"x{i}": i % 2 for i in range(8)}
+        assert nl.evaluate_outputs(asg)["parity"] == 0
+        asg["x0"] = 1
+        assert nl.evaluate_outputs(asg)["parity"] == 1
+
+    def test_majority(self):
+        nl = majority(3)
+        assert nl.evaluate_outputs({"x0": 1, "x1": 1, "x2": 0})["maj"] == 1
+        assert nl.evaluate_outputs({"x0": 1, "x1": 0, "x2": 0})["maj"] == 0
+
+    def test_equality_checker(self):
+        nl = equality_checker(4)
+        asg = {f"x{i}": 1 for i in range(4)}
+        asg.update({f"y{i}": 1 for i in range(4)})
+        assert nl.evaluate_outputs(asg)["eq"] == 1
+        asg["y2"] = 0
+        assert nl.evaluate_outputs(asg)["eq"] == 0
+
+
+class TestAnalysis:
+    def test_signal_probabilities_match_simulation(self):
+        """Topological estimates track measured probabilities on a
+        fanout-light circuit."""
+        nl = ripple_adder(3)
+        probs = signal_probabilities(nl)
+        sim = BitSimulator(nl)
+        w = random_words(len(nl.inputs), 8192, seed=0)
+        vals = sim.run({n: w[i] for i, n in enumerate(nl.inputs)})
+        for net in nl.nets:
+            measured = popcount_words(vals[sim.net_index(net)][None, :]) / 8192
+            assert abs(probs[net] - measured) < 0.12, net
+
+    def test_critical_path_is_a_path(self):
+        nl = mini_alu(3)
+        path = critical_path(nl)
+        assert len(path) == nl.depth() + 1
+        for a, b in zip(path, path[1:]):
+            assert a in nl.gate(b).fanin
+
+    def test_nets_on_critical_paths_superset(self):
+        nl = mini_alu(3)
+        crit = nets_on_critical_paths(nl)
+        assert set(critical_path(nl)) <= crit
+
+    def test_observability_depths(self):
+        nl = ripple_adder(2)
+        obs = observability_depths(nl)
+        for o in nl.outputs:
+            assert obs[o] == 0
+
+    def test_output_cone(self):
+        nl = ripple_adder(2)
+        cone = output_cone(nl, "s0")
+        assert "a0" in cone and "b0" in cone
+        assert "a1" not in cone
+
+    def test_select_high_impact_excludes(self):
+        nl = mini_alu(3)
+        picks = select_high_impact_nets(nl, 5, exclude=["y0"])
+        assert "y0" not in picks
+        assert len(picks) == 5

@@ -1,0 +1,280 @@
+"""Tests for GF(2) algebra, the LFSR, and key-sequence planning."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orap import (
+    LFSR,
+    LFSRConfig,
+    ReseedSchedule,
+    SymbolicLFSR,
+    bits_to_mask,
+    default_taps,
+    evaluate_symbolic,
+    final_state,
+    gf2_matmul,
+    gf2_matvec,
+    gf2_rank,
+    gf2_solve,
+    identity_rows,
+    mask_to_bits,
+    plan_key_sequence,
+    popcount,
+)
+from repro.orap.schedule import PlanningError
+
+
+class TestGF2:
+    @given(st.integers(0, 2**20), st.integers(1, 24))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_bits_roundtrip(self, mask, n):
+        mask &= (1 << n) - 1
+        assert bits_to_mask(mask_to_bits(mask, n)) == mask
+
+    def test_identity_rank(self):
+        assert gf2_rank(identity_rows(8)) == 8
+
+    def test_dependent_rows_rank(self):
+        rows = [0b101, 0b011, 0b110]  # third = first xor second
+        assert gf2_rank(rows) == 2
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_solve_vs_bruteforce(self, seed):
+        rng = random.Random(seed)
+        n_cols = rng.randint(1, 7)
+        n_rows = rng.randint(1, 7)
+        rows = [rng.randrange(1 << n_cols) for _ in range(n_rows)]
+        rhs = [rng.randrange(2) for _ in range(n_rows)]
+        x = gf2_solve(rows, rhs, n_cols)
+        brute = None
+        for m in range(1 << n_cols):
+            cand = [(m >> i) & 1 for i in range(n_cols)]
+            if gf2_matvec(rows, cand) == rhs:
+                brute = cand
+                break
+        if x is None:
+            assert brute is None
+        else:
+            assert gf2_matvec(rows, x) == rhs
+
+    def test_solve_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2_solve([1], [1, 0], 2)
+
+    def test_matmul_identity(self):
+        rows = [0b01, 0b11, 0b10]
+        assert gf2_matmul(rows, identity_rows(2)) == rows
+
+    def test_popcount(self):
+        assert popcount(0b1011) == 3
+        assert popcount(0) == 0
+
+
+class TestLFSRStructure:
+    def test_default_taps_every_8(self):
+        taps = default_taps(256)
+        assert taps[0] == 8
+        assert all(b - a == 8 for a, b in zip(taps, taps[1:]))
+        assert len(taps) == 31
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LFSRConfig(size=8, taps=(9,))
+        with pytest.raises(ValueError):
+            LFSRConfig(size=8, reseed_points=(8,))
+        with pytest.raises(ValueError):
+            LFSRConfig(size=8, reseed_points=(1, 1))
+        with pytest.raises(ValueError):
+            default_taps(1)
+
+    def test_default_reseed_all_cells(self):
+        cfg = LFSRConfig(size=16)
+        assert cfg.reseed_points == tuple(range(16))
+        assert cfg.n_reseed == 16
+
+    def test_xor_gate_count(self):
+        cfg = LFSRConfig(size=16, taps=(8,), reseed_points=(0, 4, 8))
+        assert cfg.xor_gate_count() == 4
+
+
+class TestLFSRBehaviour:
+    def test_clear(self):
+        cfg = LFSRConfig(size=6)
+        l = LFSR(cfg, [1, 0, 1, 1, 0, 1])
+        l.clear()
+        assert l.state == [0] * 6
+
+    def test_shift_moves_bits(self):
+        cfg = LFSRConfig(size=4, taps=(1,), reseed_points=(0,))
+        l = LFSR(cfg, [1, 0, 0, 0])
+        l.step([0])
+        # feedback = old state[3] = 0; shift: [0, 1^0, 0, 0]
+        assert l.state == [0, 1, 0, 0]
+
+    def test_feedback_wraps_and_taps(self):
+        cfg = LFSRConfig(size=4, taps=(2,), reseed_points=(0,))
+        l = LFSR(cfg, [0, 0, 0, 1])
+        l.step([0])
+        # fb = 1 -> cell0 = 1; cell2 = old cell1 ^ fb = 1
+        assert l.state == [1, 0, 1, 0]
+
+    def test_seed_injection(self):
+        cfg = LFSRConfig(size=4, taps=(1,), reseed_points=(0, 2))
+        l = LFSR(cfg)
+        l.step([1, 1])
+        assert l.state == [1, 0, 1, 0]
+
+    def test_wrong_seed_width_rejected(self):
+        l = LFSR(LFSRConfig(size=4))
+        with pytest.raises(ValueError):
+            l.step([1])
+
+    def test_no_feedback_mode(self):
+        cfg = LFSRConfig(size=4, taps=(1,), feedback=False)
+        l = LFSR(cfg, [0, 0, 0, 1])
+        l.step([0, 0, 0, 0])
+        assert l.state == [0, 0, 0, 0]  # bit fell off the end
+
+    def test_zero_state_stays_zero_on_free_run(self):
+        l = LFSR(LFSRConfig(size=8))
+        l.step(None)
+        assert l.state == [0] * 8
+
+    def test_run_applies_sequence(self):
+        cfg = LFSRConfig(size=4, taps=(1,), reseed_points=(0,))
+        l = LFSR(cfg)
+        final = l.run([[1], None, None])
+        l2 = LFSR(cfg)
+        l2.step([1])
+        l2.step(None)
+        l2.step(None)
+        assert final == l2.state
+
+
+class TestSymbolicLFSR:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_symbolic_matches_concrete(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 20)
+        points = tuple(sorted(rng.sample(range(n), rng.randint(1, n))))
+        cfg = LFSRConfig(size=n, reseed_points=points)
+        sym = SymbolicLFSR(cfg)
+        conc = LFSR(cfg)
+        var_values = []
+        for _ in range(rng.randint(1, 10)):
+            if rng.random() < 0.7:
+                bits = [rng.randrange(2) for _ in points]
+                var_values.extend(bits)
+                conc.step(bits)
+                sym.step_symbolic(True)
+            else:
+                conc.step(None)
+                sym.step_symbolic(False)
+        assert evaluate_symbolic(sym.cells, var_values) == conc.state
+
+    def test_xor_tree_count_grows_with_seeds(self):
+        cfg = LFSRConfig(size=32)
+        sizes = []
+        for n_seeds in (1, 2, 4):
+            sym = SymbolicLFSR(cfg)
+            for _ in range(n_seeds):
+                sym.step_symbolic(True)
+            sizes.append(sym.xor_tree_gate_count())
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_lfsr_mixes_more_than_shift_register(self):
+        # the paper's rationale for an LFSR key register
+        for_fb = []
+        for feedback in (True, False):
+            cfg = LFSRConfig(size=32, feedback=feedback)
+            sym = SymbolicLFSR(cfg)
+            for i in range(8):
+                sym.step_symbolic(i % 2 == 0)
+            for_fb.append(sym.xor_tree_gate_count())
+        assert for_fb[0] > for_fb[1]
+
+
+class TestPlanning:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_basic_plan_reaches_target(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(6, 32)
+        cfg = LFSRConfig(size=n)
+        sched = ReseedSchedule.randomized(n_seeds=rng.randint(1, 4), rng=seed)
+        target = [rng.randrange(2) for _ in range(n)]
+        seq = plan_key_sequence(cfg, sched, target, rng=seed)
+        assert final_state(cfg, seq) == target
+
+    def test_modified_plan_with_responses(self):
+        rng = random.Random(1)
+        n = 16
+        cfg = LFSRConfig(size=n)
+        pts = list(cfg.reseed_points)
+        resp = pts[1::2]
+        mem = [p for p in pts if p not in resp]
+        sched = ReseedSchedule.randomized(n_seeds=4, rng=2)
+        responses = [[rng.randrange(2) for _ in resp] for _ in range(sched.n_cycles)]
+        target = [rng.randrange(2) for _ in range(n)]
+        seq = plan_key_sequence(
+            cfg, sched, target, memory_points=mem,
+            response_stream=responses, response_points=resp, rng=3,
+        )
+        got = final_state(
+            cfg, seq, memory_points=mem, response_stream=responses,
+            response_points=resp,
+        )
+        assert got == target
+        # perturbing the response stream breaks unlocking (threat-e defense)
+        bad = [list(r) for r in responses]
+        bad[0][0] ^= 1
+        assert (
+            final_state(cfg, seq, memory_points=mem, response_stream=bad,
+                        response_points=resp)
+            != target
+        )
+
+    def test_plan_randomization_differs(self):
+        cfg = LFSRConfig(size=12)
+        sched = ReseedSchedule.regular(n_seeds=2)
+        target = [1] * 12
+        s1 = plan_key_sequence(cfg, sched, target, rng=1)
+        s2 = plan_key_sequence(cfg, sched, target, rng=2)
+        assert s1.words != s2.words
+        assert final_state(cfg, s1) == final_state(cfg, s2) == target
+
+    def test_rank_deficiency_raises(self):
+        # single seed through 1 reseed point cannot reach most 8-bit keys
+        cfg = LFSRConfig(size=8, reseed_points=(0,))
+        sched = ReseedSchedule.regular(n_seeds=1)
+        with pytest.raises(PlanningError):
+            plan_key_sequence(cfg, sched, [1] * 8, rng=0)
+
+    def test_schedule_shapes(self):
+        s = ReseedSchedule.regular(n_seeds=3, gap=2, tail=1)
+        assert s.n_seed_cycles == 3
+        assert s.n_cycles == 3 + 2 * 2 + 1
+        s2 = ReseedSchedule.randomized(n_seeds=3, rng=0)
+        assert s2.n_seed_cycles == 3
+
+    def test_word_stream_alignment(self):
+        cfg = LFSRConfig(size=8)
+        sched = ReseedSchedule.regular(n_seeds=2, gap=1)
+        seq = plan_key_sequence(cfg, sched, [0] * 8, rng=0)
+        stream = seq.word_stream()
+        assert len(stream) == sched.n_cycles
+        assert stream[1] is None  # the gap cycle
+        assert stream[0] is not None and stream[2] is not None
+
+    def test_response_stream_validation(self):
+        cfg = LFSRConfig(size=8)
+        sched = ReseedSchedule.regular(n_seeds=2)
+        with pytest.raises(ValueError):
+            plan_key_sequence(
+                cfg, sched, [0] * 8, response_points=(1,), rng=0
+            )

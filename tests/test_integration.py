@@ -1,0 +1,132 @@
+"""End-to-end integration test: the paper's whole story on one design.
+
+Design -> WLL locking -> OraP protection -> activation -> attacks via the
+real scan protocol -> Trojan escalation -> the Fig. 3 countermeasure.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    SATAttackConfig,
+    ScanOracle,
+    key_is_correct,
+    sat_attack,
+)
+from repro.bench import GeneratorConfig, SequentialConfig, generate_sequential
+from repro.locking import WLLConfig
+from repro.orap import OraPConfig, TrojanHooks, protect
+from repro.sat import prove_unlocks
+from repro.sim import measure_corruption
+from repro.threats import execute_freeze_attack
+
+
+@pytest.fixture(scope="module")
+def story():
+    design = generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=12, n_outputs=18, n_gates=120, depth=7, seed=22,
+                name="story",
+            ),
+            n_flops=10,
+        )
+    )
+    basic = protect(
+        design,
+        orap=OraPConfig(variant="basic"),
+        wll=WLLConfig(key_width=9, control_width=3, n_key_gates=4),
+        rng=13,
+    )
+    modified = protect(
+        design,
+        orap=OraPConfig(variant="modified"),
+        wll=WLLConfig(key_width=9, control_width=3, n_key_gates=4),
+        rng=13,
+    )
+    return basic, modified
+
+
+def test_act1_locking_is_sound_and_corrupting(story):
+    basic, _ = story
+    locked = basic.locked
+    # correct key restores the function — proven, not sampled
+    assert prove_unlocks(locked.original, locked.locked, locked.correct_key)
+    # wrong keys corrupt heavily (WLL's purpose)
+    rep = measure_corruption(
+        locked.locked, locked.key_inputs, locked.correct_key,
+        n_patterns=1024, n_keys=6,
+    )
+    assert rep.hd_percent > 15.0
+
+
+def test_act2_activation_protocol(story):
+    basic, modified = story
+    for d in (basic, modified):
+        chip = d.build_chip()
+        chip.reset()
+        assert not chip.is_unlocked()
+        chip.unlock()
+        assert chip.is_unlocked()
+
+
+def test_act3_sat_attack_outcomes(story):
+    basic, _ = story
+    locked = basic.locked
+    # conventional chip: key falls
+    base = basic.baseline_chip()
+    base.reset()
+    base.unlock()
+    res = sat_attack(
+        locked.locked, locked.key_inputs, ScanOracle(base),
+        SATAttackConfig(max_iterations=128),
+    )
+    assert res.completed and key_is_correct(locked, res.recovered_key)
+    # OraP chip: attack completes against locked responses — wrong key
+    chip = basic.build_chip()
+    chip.reset()
+    chip.unlock()
+    res2 = sat_attack(
+        locked.locked, locked.key_inputs, ScanOracle(chip),
+        SATAttackConfig(max_iterations=128),
+    )
+    assert res2.completed
+    assert not key_is_correct(locked, res2.recovered_key)
+
+
+def test_act4_trojan_escalation_and_fig3(story):
+    basic, modified = story
+    rng = random.Random(5)
+    state = {ff.name: rng.randrange(2) for ff in basic.design.flops}
+    pi = {p: rng.randrange(2) for p in basic.chip.primary_inputs}
+
+    def truth(d):
+        asg = dict(pi)
+        asg.update(d.locked.correct_key)
+        for ff in d.design.flops:
+            asg[ff.q] = state[ff.name]
+        return d.design.core.evaluate(asg)
+
+    # the cheap freeze Trojan (threat e) beats the basic scheme...
+    po, captured, chip = execute_freeze_attack(basic, pi, state)
+    t = truth(basic)
+    assert all(po[o] == t[o] for o in chip.primary_outputs)
+    # ...and is defeated by the modified scheme of Fig. 3
+    po_m, captured_m, chip_m = execute_freeze_attack(modified, pi, state)
+    t_m = truth(modified)
+    wrong = any(po_m[o] != t_m[o] for o in chip_m.primary_outputs) or any(
+        captured_m[ff.name] != t_m[ff.d] for ff in modified.design.flops
+    )
+    assert wrong
+
+
+def test_act5_modified_unlocks_depend_on_responses(story):
+    _, modified = story
+    # freezing the flops during a NORMAL unlock breaks it: the wrong
+    # responses poison the LFSR (the paper's "wrong circuit responses are
+    # necessary for unlocking the correct circuit functionality")
+    chip = modified.build_chip(trojan=TrojanHooks(freeze_normal_ffs=True))
+    chip.reset()
+    chip.unlock()
+    assert not chip.is_unlocked()

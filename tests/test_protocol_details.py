@@ -1,0 +1,155 @@
+"""Focused tests on subtle OraP protocol corners from Sect. II-A/III.
+
+These complement test_orap_chip.py with the adversarial corners the paper
+analyzes in prose.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import GeneratorConfig, SequentialConfig, generate_sequential
+from repro.locking import WLLConfig
+from repro.orap import OraPConfig, protect
+
+
+@pytest.fixture(scope="module")
+def designs():
+    seq = generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=10, n_outputs=16, n_gates=130, depth=7, seed=17,
+                name="corner",
+            ),
+            n_flops=9,
+        )
+    )
+    out = {}
+    for variant in ("basic", "modified"):
+        out[variant] = protect(
+            seq,
+            orap=OraPConfig(variant=variant),
+            wll=WLLConfig(key_width=9, control_width=3, n_key_gates=4),
+            rng=31,
+        )
+    return out
+
+
+class TestKeyGuessing:
+    def test_scanned_in_key_guess_gives_locked_guess_semantics(self, designs):
+        """An attacker can scan a key guess into the LFSR cells and capture
+        with it — but that only implements locked(guess), i.e. brute force."""
+        d = designs["basic"]
+        chip = d.build_chip()
+        chip.reset()
+        rng = random.Random(3)
+        guess_bits = [rng.randrange(2) for _ in range(d.lfsr_config.size)]
+        state = {ff.name: rng.randrange(2) for ff in d.design.flops}
+        pi = {p: rng.randrange(2) for p in chip.primary_inputs}
+        chip.enter_scan_mode()
+        chip.scan_load(
+            {**state, **{f"kr{i}": b for i, b in enumerate(guess_bits)}}
+        )
+        chip.scan_capture(pi)
+        po = chip._last_capture_outputs
+        asg = dict(pi)
+        for k, b in zip(d.locked.key_inputs, guess_bits):
+            asg[k] = b
+        for ff in d.design.flops:
+            asg[ff.q] = state[ff.name]
+        values = d.design.core.evaluate(asg)
+        assert po == {o: values[o] for o in chip.primary_outputs}
+
+    def test_correct_guess_would_unlock_capture(self, designs):
+        """Scanning in the *correct* key gives one correct capture — which
+        is exactly why the key must stay secret; the space is 2^n."""
+        d = designs["basic"]
+        chip = d.build_chip()
+        chip.reset()
+        chip.enter_scan_mode()
+        correct = {f"kr{i}": b for i, b in enumerate(d.locked.key_vector())}
+        chip.scan_load(correct)
+        assert chip.is_unlocked()  # register holds the key until SE rises
+
+
+class TestUnlockRobustness:
+    def test_unlock_is_repeatable_after_scan(self, designs):
+        """Scan entry locks the chip; a fresh controller unlock restores
+        it (periodic testing + re-activation, the paper's motivation for
+        not blowing fuses)."""
+        for variant, d in designs.items():
+            chip = d.build_chip()
+            chip.reset()
+            chip.unlock()
+            assert chip.is_unlocked(), variant
+            chip.enter_scan_mode()
+            chip.leave_scan_mode()
+            assert not chip.is_unlocked(), variant
+            chip.reset()
+            chip.unlock()
+            assert chip.is_unlocked(), variant
+
+    def test_partial_key_sequence_leaves_chip_locked(self, designs):
+        """Stopping the reseeding process early must not unlock."""
+        d = designs["basic"]
+        chip = d.build_chip()
+        chip.reset()
+        kr = chip.key_register
+        kr.begin_unlock()
+        stream = d.key_sequence.word_stream()
+        n_points = kr.config.n_reseed
+        for word in stream[:-1]:  # all but the last cycle
+            bits = [0] * n_points
+            if word is not None:
+                for p, b in zip(d.memory_points, word):
+                    bits[chip._point_index[p]] = b
+            kr.unlock_step(bits)
+        kr.freeze()
+        assert not chip.is_unlocked()
+
+    def test_tampered_seed_breaks_unlock(self, designs):
+        """Flipping one stored seed bit yields a wrong final key."""
+        d = designs["basic"]
+        words = [list(w) for w in d.key_sequence.words]
+        words[0][0] ^= 1
+        from repro.orap import KeySequence
+
+        tampered = KeySequence(
+            schedule=d.key_sequence.schedule,
+            words=tuple(tuple(w) for w in words),
+        )
+        import dataclasses
+
+        d_bad = dataclasses.replace(d, key_sequence=tampered)
+        chip = d_bad.build_chip()
+        chip.reset()
+        chip.unlock()
+        assert not chip.is_unlocked()
+
+
+class TestHillClimbOnTestResponses:
+    def test_locked_test_responses_mislead_hill_climbing(self, designs):
+        """The paper: under OraP the chip is tested locked, so published
+        test responses describe the locked circuit and hill climbing
+        converges to the wrong key."""
+        from repro.attacks import HillClimbConfig, ScanOracle, hill_climb_attack, key_is_correct
+
+        d = designs["basic"]
+        chip = d.build_chip()
+        chip.reset()
+        chip.unlock()
+        oracle = ScanOracle(chip)
+        rng = random.Random(0)
+        # "published" responses: gathered through the (OraP) scan interface
+        test_set = []
+        for _ in range(64):
+            p = {i: rng.randrange(2) for i in oracle.inputs}
+            test_set.append((p, oracle.query(p)))
+        res = hill_climb_attack(
+            d.locked.locked,
+            d.locked.key_inputs,
+            oracle,
+            HillClimbConfig(restarts=3, seed=2),
+            test_set=test_set,
+        )
+        assert not key_is_correct(d.locked, res.recovered_key)

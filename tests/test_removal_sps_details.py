@@ -1,0 +1,75 @@
+"""Extra structural-attack coverage: candidate detection internals."""
+
+import pytest
+
+from repro.attacks import (
+    RemovalCandidate,
+    find_removal_candidates,
+    find_skewed_nets,
+)
+from repro.bench import GeneratorConfig, c17, generate_netlist
+from repro.locking import WLLConfig, lock_antisat, lock_sarlock, lock_weighted
+from repro.netlist import GateType, Netlist
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate_netlist(
+        GeneratorConfig(
+            n_inputs=14, n_outputs=10, n_gates=110, depth=7, seed=9, name="d"
+        )
+    )
+
+
+class TestRemovalCandidates:
+    def test_sarlock_flip_found(self, circuit):
+        sar = lock_sarlock(circuit, key_width=7, rng=2)
+        cands = find_removal_candidates(sar.locked, sar.key_inputs)
+        merges = {c.merge_gate for c in cands}
+        assert sar.extra["protected_output"] in merges
+
+    def test_wll_control_cones_found(self, circuit):
+        wll = lock_weighted(
+            circuit, WLLConfig(key_width=12, control_width=3, n_key_gates=6),
+            rng=2,
+        )
+        cands = find_removal_candidates(wll.locked, wll.key_inputs)
+        merges = {c.merge_gate for c in cands}
+        # every weighted key gate is structurally identifiable
+        assert set(wll.key_gate_nets) <= merges
+
+    def test_unlocked_circuit_has_no_candidates(self, circuit):
+        assert find_removal_candidates(circuit, []) == []
+
+    def test_functional_xor_downstream_not_flagged(self):
+        """An XOR with keys in BOTH cones is functional logic, not a merge."""
+        nl = Netlist("fx")
+        nl.add_input("a")
+        nl.add_input("k")
+        nl.add_gate("ka", GateType.XOR, ["a", "k"])  # key gate
+        nl.add_gate("kb", GateType.NOT, ["ka"])
+        nl.add_gate("y", GateType.XOR, ["ka", "kb"])  # keys in both cones
+        nl.set_outputs(["y"])
+        cands = find_removal_candidates(nl, ["k"])
+        assert "y" not in {c.merge_gate for c in cands}
+
+
+class TestSkewFinding:
+    def test_antisat_y_is_top_candidate(self, circuit):
+        ans = lock_antisat(circuit, half_width=8, rng=2)
+        findings = find_skewed_nets(ans.locked, ans.key_inputs)
+        assert findings
+        assert findings[0].net == ans.extra["y_net"]
+        assert findings[0].skew > 0.49
+
+    def test_key_filter_excludes_functional_skew(self, circuit):
+        ans = lock_antisat(circuit, half_width=8, rng=2)
+        unfiltered = find_skewed_nets(ans.locked, None, min_skew=0.45)
+        filtered = find_skewed_nets(ans.locked, ans.key_inputs, min_skew=0.45)
+        assert len(filtered) <= len(unfiltered)
+        for f in filtered:
+            cone = ans.locked.transitive_fanin([f.net])
+            assert cone & set(ans.key_inputs)
+
+    def test_clean_circuit_no_candidates(self, circuit):
+        assert find_skewed_nets(circuit, [], min_skew=0.45) == []

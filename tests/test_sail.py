@@ -1,0 +1,93 @@
+"""Tests for the SAIL-style structural ML attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    LogisticModel,
+    extract_key_features,
+    key_accuracy,
+    resynthesize,
+    sail_attack,
+    train_sail_model,
+)
+from repro.attacks.sail import N_FEATURES, generate_training_set
+from repro.bench import GeneratorConfig, generate_netlist
+from repro.locking import WLLConfig, lock_random, lock_weighted
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_sail_model(n_circuits=14, key_width=8, seed=1)
+
+
+class TestPieces:
+    def test_resynthesis_dissolves_key_gates(self):
+        host = generate_netlist(
+            GeneratorConfig(n_inputs=10, n_outputs=6, n_gates=70, depth=5,
+                            seed=2, name="s")
+        )
+        lc = lock_random(host, key_width=4, rng=3)
+        syn = resynthesize(lc.locked)
+        from repro.netlist import GateType
+
+        kinds = {g.gtype for g in syn.gates() if not g.gtype.is_source}
+        assert GateType.XOR not in kinds and GateType.XNOR not in kinds
+        # and the function is preserved
+        from repro.sim import circuits_equal_on_patterns
+
+        assert circuits_equal_on_patterns(lc.locked, syn, n_patterns=128)
+
+    def test_feature_vector_shape(self):
+        host = generate_netlist(
+            GeneratorConfig(n_inputs=10, n_outputs=6, n_gates=70, depth=5,
+                            seed=2, name="s")
+        )
+        lc = lock_random(host, key_width=4, rng=3)
+        syn = resynthesize(lc.locked)
+        feats = extract_key_features(syn, lc.key_inputs[0])
+        assert feats.shape == (N_FEATURES,)
+
+    def test_training_set_labels_balanced_enough(self):
+        x, y = generate_training_set(n_circuits=10, key_width=8, seed=2)
+        assert x.shape[1] == N_FEATURES
+        assert 0.2 <= y.mean() <= 0.8
+
+    def test_logistic_model_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, N_FEATURES))
+        y = (x[:, 0] > 0).astype(float)
+        m = LogisticModel.fit(x, y, epochs=600)
+        assert (m.predict(x) == y).mean() > 0.9
+
+
+class TestAttack:
+    def test_above_chance_on_rll(self, model):
+        accs = []
+        for seed in range(6):
+            host = generate_netlist(
+                GeneratorConfig(n_inputs=12, n_outputs=8, n_gates=100,
+                                depth=6, seed=500 + seed, name="v")
+            )
+            lc = lock_random(host, key_width=8, rng=900 + seed)
+            res = sail_attack(resynthesize(lc.locked), lc.key_inputs, model)
+            assert res.completed and res.oracle_queries == 0
+            accs.append(key_accuracy(res.recovered_key, lc.correct_key))
+        assert float(np.mean(accs)) > 0.6  # well above the 0.5 baseline
+
+    def test_collapses_on_wll(self, model):
+        """WLL's multi-key control gates have no single-bit polarity for
+        SAIL to reconstruct — accuracy falls to chance."""
+        accs = []
+        for seed in range(6):
+            host = generate_netlist(
+                GeneratorConfig(n_inputs=12, n_outputs=8, n_gates=100,
+                                depth=6, seed=700 + seed, name="w")
+            )
+            lc = lock_weighted(
+                host, WLLConfig(key_width=9, control_width=3, n_key_gates=3),
+                rng=900 + seed,
+            )
+            res = sail_attack(resynthesize(lc.locked), lc.key_inputs, model)
+            accs.append(key_accuracy(res.recovered_key, lc.correct_key))
+        assert float(np.mean(accs)) < 0.62

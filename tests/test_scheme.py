@@ -1,0 +1,233 @@
+"""Tests for OraP design assembly (protect, response flops, planning)."""
+
+import pytest
+
+from repro.bench import (
+    GeneratorConfig,
+    SequentialConfig,
+    c17,
+    generate_sequential,
+    mini_alu,
+)
+from repro.locking import WLLConfig, lock_random, lock_weighted
+from repro.orap import (
+    OraPConfig,
+    closed_fanin_cone,
+    protect,
+    select_response_flops,
+    sequential_key_taint,
+    simulate_response_stream,
+    wrap_combinational,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=10, n_outputs=16, n_gates=120, depth=6, seed=6, name="sd"
+            ),
+            n_flops=10,
+        )
+    )
+
+
+class TestProtectBasic:
+    def test_unlock_roundtrip(self, design):
+        d = protect(
+            design,
+            orap=OraPConfig(variant="basic"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=1,
+        )
+        chip = d.chip
+        chip.reset()
+        chip.unlock()
+        assert chip.is_unlocked()
+
+    def test_accepts_premade_locked_circuit(self, design):
+        locked = lock_weighted(
+            design.core,
+            WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=2,
+        )
+        d = protect(design, locking=locked, orap=OraPConfig(variant="basic"), rng=3)
+        chip = d.chip
+        chip.reset()
+        chip.unlock()
+        assert chip.is_unlocked()
+
+    def test_accepts_locking_callable(self, design):
+        def locker(core, exclude_nets, rng):
+            return lock_random(core, key_width=8, rng=rng)
+
+        d = protect(design, locking=locker, orap=OraPConfig(variant="basic"), rng=4)
+        chip = d.chip
+        chip.reset()
+        chip.unlock()
+        assert chip.is_unlocked()
+
+    def test_premade_locked_rejected_for_modified(self, design):
+        locked = lock_weighted(
+            design.core,
+            WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=2,
+        )
+        with pytest.raises(ValueError):
+            protect(design, locking=locked, orap=OraPConfig(variant="modified"))
+
+    def test_unknown_variant_rejected(self, design):
+        with pytest.raises(ValueError):
+            protect(design, orap=OraPConfig(variant="quantum"))
+
+    def test_overhead_gates(self, design):
+        d = protect(
+            design,
+            orap=OraPConfig(variant="basic"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=1,
+        )
+        o = d.overhead_gates()
+        assert o["pulse_generators"] == 10 * 4
+        assert o["reseed_xors"] == 10
+
+    def test_deterministic_given_seed(self, design):
+        d1 = protect(
+            design,
+            orap=OraPConfig(variant="basic"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=11,
+        )
+        d2 = protect(
+            design,
+            orap=OraPConfig(variant="basic"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=11,
+        )
+        assert d1.key_sequence.words == d2.key_sequence.words
+        assert d1.locked.key_vector() == d2.locked.key_vector()
+
+
+class TestProtectModified:
+    def test_unlock_roundtrip(self, design):
+        d = protect(
+            design,
+            orap=OraPConfig(variant="modified"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=5,
+        )
+        chip = d.chip
+        chip.reset()
+        chip.unlock()
+        assert chip.is_unlocked()
+        assert len(d.response_points) > 0
+        assert len(d.response_flops) == len(d.response_points)
+
+    def test_response_flops_are_key_free(self, design):
+        d = protect(
+            design,
+            orap=OraPConfig(variant="modified"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=5,
+        )
+        taint = sequential_key_taint(d.design, d.locked.key_inputs)
+        for flop in d.response_flops:
+            assert d.design.flop(flop).d not in taint
+
+    def test_response_stream_is_key_independent(self, design):
+        d = protect(
+            design,
+            orap=OraPConfig(variant="modified"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=5,
+        )
+        n = d.key_sequence.schedule.n_cycles
+        s0 = simulate_response_stream(
+            d.design, d.locked, d.response_flops, n, d.unlock_pi_values
+        )
+        # recompute with the key pinned to the correct value instead of 0
+        state = d.design.reset_state()
+        stream = []
+        base = dict(d.unlock_pi_values)
+        base.update(d.locked.correct_key)
+        for _ in range(n):
+            stream.append([state[f] for f in d.response_flops])
+            asg = dict(base)
+            for ff in d.design.flops:
+                asg[ff.q] = state[ff.name]
+            values = d.design.core.evaluate(asg)
+            state = {ff.name: values[ff.d] for ff in d.design.flops}
+        assert stream == s0
+
+    def test_memory_and_response_points_partition(self, design):
+        d = protect(
+            design,
+            orap=OraPConfig(variant="modified"),
+            wll=WLLConfig(key_width=10, control_width=3, n_key_gates=4),
+            rng=5,
+        )
+        mem = set(d.memory_points)
+        resp = set(d.response_points)
+        assert not (mem & resp)
+        assert mem | resp == set(d.lfsr_config.reseed_points)
+
+
+class TestHelpers:
+    def test_sequential_key_taint_propagates_through_flops(self, design):
+        # taint from a flop's D-source should reach its Q fanout next cycle
+        ff = design.flops[0]
+        src_gate = design.core.gate(ff.d)
+        taint = sequential_key_taint(design, [ff.d])
+        assert ff.q in taint or design.core.fanout_map()[ff.q] == []
+
+    def test_closed_fanin_cone_is_closed(self, design):
+        cone = closed_fanin_cone(design, [design.flops[0].name])
+        q_to_d = {ff.q: ff.d for ff in design.flops}
+        for net in list(cone):
+            for f in design.core.gate(net).fanin:
+                assert f in cone
+            if net in q_to_d:
+                assert q_to_d[net] in cone
+
+    def test_select_response_flops_count(self, design):
+        flops, cone = select_response_flops(design, 3)
+        assert len(flops) == 3
+        assert cone == closed_fanin_cone(design, flops)
+
+    def test_select_too_many_raises(self, design):
+        from repro.orap.schedule import PlanningError
+
+        with pytest.raises(PlanningError):
+            select_response_flops(design, 100)
+
+
+class TestWrapCombinational:
+    def test_wrap_roundtrip(self):
+        nl = mini_alu(4)
+        seq = wrap_combinational(nl, n_flops=3)
+        assert seq.state_width == 3
+        assert len(seq.primary_inputs) == len(nl.inputs) - 3
+        assert len(seq.primary_outputs) == len(nl.outputs) - 3
+        seq.build_scan_chains(1)
+        seq.validate()
+
+    def test_wrap_validation(self):
+        with pytest.raises(ValueError):
+            wrap_combinational(c17(), n_flops=0)
+        with pytest.raises(ValueError):
+            wrap_combinational(c17(), n_flops=5)
+
+    def test_wrapped_design_protectable(self):
+        nl = mini_alu(4)
+        seq = wrap_combinational(nl, n_flops=3)
+        d = protect(
+            seq,
+            orap=OraPConfig(variant="basic"),
+            wll=WLLConfig(key_width=6, control_width=3, n_key_gates=3),
+            rng=2,
+        )
+        chip = d.chip
+        chip.reset()
+        chip.unlock()
+        assert chip.is_unlocked()

@@ -1,0 +1,143 @@
+"""Unit tests for the sequential/scan circuit model."""
+
+import pytest
+
+from repro.bench import s27_like
+from repro.netlist import (
+    FlipFlop,
+    GateType,
+    Netlist,
+    NetlistError,
+    SequentialCircuit,
+)
+
+
+@pytest.fixture
+def toggle():
+    """A 2-bit counter-ish design: ff0 toggles, ff1 = ff0 & en."""
+    core = Netlist("cnt")
+    core.add_input("en")
+    core.add_input("q0")
+    core.add_input("q1")
+    core.add_gate("d0", GateType.NOT, ["q0"])
+    core.add_gate("d1", GateType.XOR, ["q1", "t"])
+    core.add_gate("t", GateType.AND, ["q0", "en"])
+    core.add_gate("po", GateType.OR, ["q0", "q1"])
+    core.set_outputs(["po", "d0", "d1"])
+    seq = SequentialCircuit(core, name="cnt")
+    seq.add_flop(FlipFlop("ff0", d="d0", q="q0"))
+    seq.add_flop(FlipFlop("ff1", d="d1", q="q1"))
+    seq.build_scan_chains(1)
+    return seq
+
+
+class TestStructure:
+    def test_primary_io_excludes_pseudo(self, toggle):
+        assert toggle.primary_inputs == ["en"]
+        assert toggle.primary_outputs == ["po"]
+        assert toggle.state_width == 2
+
+    def test_duplicate_flop_rejected(self, toggle):
+        with pytest.raises(NetlistError):
+            toggle.add_flop(FlipFlop("ff0", d="d0", q="q0"))
+
+    def test_flop_requires_existing_nets(self):
+        core = Netlist("c")
+        core.add_input("q")
+        core.add_gate("d", GateType.NOT, ["q"])
+        core.set_outputs(["d"])
+        seq = SequentialCircuit(core)
+        with pytest.raises(NetlistError):
+            seq.add_flop(FlipFlop("f", d="nope", q="q"))
+        with pytest.raises(NetlistError):
+            seq.add_flop(FlipFlop("f", d="d", q="nope"))
+
+    def test_scan_chain_balance(self, toggle):
+        chains = toggle.build_scan_chains(2)
+        assert len(chains) == 2
+        assert sorted(c.cells[0] for c in chains) == ["ff0", "ff1"]
+
+    def test_scan_chain_explicit_order(self, toggle):
+        chains = toggle.build_scan_chains(1, order=["ff1", "ff0"])
+        assert chains[0].cells == ["ff1", "ff0"]
+
+    def test_scan_chain_unknown_flop(self, toggle):
+        with pytest.raises(NetlistError):
+            toggle.build_scan_chains(1, order=["ff0", "nope"])
+
+    def test_validate_chain_coverage(self, toggle):
+        toggle.scan_chains[0].cells.pop()
+        with pytest.raises(NetlistError):
+            toggle.validate()
+
+
+class TestFunctionalSemantics:
+    def test_next_state_toggles(self, toggle):
+        st = toggle.reset_state()
+        st1, po = toggle.next_state(st, {"en": 1})
+        assert st1 == {"ff0": 1, "ff1": 0}
+        assert po == {"po": 0}
+        st2, po2 = toggle.next_state(st1, {"en": 1})
+        assert st2 == {"ff0": 0, "ff1": 1}
+        assert po2 == {"po": 1}
+
+    def test_reset_state_value(self, toggle):
+        assert toggle.reset_state(1) == {"ff0": 1, "ff1": 1}
+
+    def test_s27_like_runs(self):
+        s = s27_like()
+        st = s.reset_state()
+        seen = []
+        for _ in range(8):
+            st, po = s.next_state(st, {"G0": 1, "G1": 0, "G2": 0, "G3": 1})
+            seen.append(po["G17"])
+        assert set(seen) <= {0, 1}
+
+
+class TestScanSemantics:
+    def test_shift_moves_toward_scan_out(self, toggle):
+        st = {"ff0": 1, "ff1": 0}
+        nxt, outs = toggle.scan_shift(st, {"chain0": 0})
+        # chain order is [ff0, ff1]: ff1 exits, ff0's value moves into ff1
+        assert outs["chain0"] == 0
+        assert nxt == {"ff0": 0, "ff1": 1}
+
+    def test_load_then_unload_roundtrip(self, toggle):
+        target = {"ff0": 1, "ff1": 1}
+        st = toggle.load_state_via_scan(toggle.reset_state(), target)
+        assert st == target
+        _, observed = toggle.unload_state_via_scan(st)
+        assert observed == target
+
+    def test_load_roundtrip_multi_chain(self, toggle):
+        toggle.build_scan_chains(2)
+        target = {"ff0": 1, "ff1": 0}
+        st = toggle.load_state_via_scan(toggle.reset_state(), target)
+        assert st == target
+        _, observed = toggle.unload_state_via_scan(st)
+        assert observed == target
+
+    def test_scan_requires_chains(self):
+        core = Netlist("c")
+        core.add_input("q")
+        core.add_gate("d", GateType.NOT, ["q"])
+        core.set_outputs(["d"])
+        seq = SequentialCircuit(core)
+        seq.add_flop(FlipFlop("f", d="d", q="q"))
+        with pytest.raises(NetlistError):
+            seq.scan_shift({"f": 0}, {})
+
+
+class TestScanRoundtripProperty:
+    def test_random_states_roundtrip(self):
+        import random
+
+        rng = random.Random(3)
+        s = s27_like()
+        s.build_scan_chains(2)
+        for _ in range(20):
+            target = {ff.name: rng.randrange(2) for ff in s.flops}
+            st = s.load_state_via_scan(s.reset_state(), target)
+            assert st == target
+            _, observed = s.unload_state_via_scan(st)
+            assert observed == target

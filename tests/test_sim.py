@@ -1,0 +1,220 @@
+"""Tests for bit-parallel simulation, patterns, and corruption metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import GeneratorConfig, c17, generate_netlist, ripple_adder
+from repro.netlist import GateType, Netlist
+from repro.sim import (
+    BitSimulator,
+    assignment_to_int,
+    broadcast_constant,
+    exhaustive_words,
+    functional_match_fraction,
+    hamming_distance_words,
+    int_to_assignment,
+    measure_corruption,
+    n_words,
+    pack_patterns,
+    popcount_words,
+    random_words,
+    simulate_many,
+    tail_mask,
+    unpack_patterns,
+    weighted_words,
+)
+
+
+class TestPacking:
+    def test_n_words(self):
+        assert n_words(1) == 1
+        assert n_words(64) == 1
+        assert n_words(65) == 2
+
+    def test_tail_mask(self):
+        assert tail_mask(64) == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert tail_mask(3) == np.uint64(0b111)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=3, max_size=3),
+            min_size=1,
+            max_size=130,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pack_unpack_roundtrip(self, rows):
+        bits = np.array(rows, dtype=np.uint8)
+        words = pack_patterns(bits)
+        back = unpack_patterns(words, bits.shape[0])
+        assert (back == bits).all()
+
+    def test_popcount(self):
+        w = np.array([np.uint64(0b1011), np.uint64(0)], dtype=np.uint64)
+        assert popcount_words(w) == 3
+
+    def test_pack_requires_2d(self):
+        with pytest.raises(ValueError):
+            pack_patterns(np.zeros(4, dtype=np.uint8))
+
+
+class TestBitSimulator:
+    def test_matches_reference_on_c17_exhaustive(self):
+        nl = c17()
+        words = exhaustive_words(5)
+        sim = BitSimulator(nl)
+        out = sim.run_outputs({name: words[i] for i, name in enumerate(nl.inputs)})
+        rows = unpack_patterns(out, 32)
+        for v in range(32):
+            asg = int_to_assignment(v, nl.inputs)
+            want = nl.evaluate_outputs(asg)
+            got = {o: int(rows[v][j]) for j, o in enumerate(nl.outputs)}
+            assert got == want, v
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_on_random_circuits(self, seed):
+        nl = generate_netlist(
+            GeneratorConfig(
+                n_inputs=10, n_outputs=8, n_gates=80, depth=6, seed=seed, name="r"
+            )
+        )
+        import random
+
+        rng = random.Random(seed)
+        pats = [
+            {i: rng.randrange(2) for i in nl.inputs} for _ in range(100)
+        ]
+        got = simulate_many(nl, pats)
+        for p, g in zip(pats, got):
+            assert g == nl.evaluate_outputs(p)
+
+    def test_array_input_form(self):
+        nl = c17()
+        words = exhaustive_words(5)
+        sim = BitSimulator(nl)
+        out1 = sim.run_outputs(words)
+        out2 = sim.run_outputs(
+            {name: words[i] for i, name in enumerate(nl.inputs)}
+        )
+        assert (out1 == out2).all()
+
+    def test_wrong_input_count_rejected(self):
+        sim = BitSimulator(c17())
+        with pytest.raises(ValueError):
+            sim.run(np.zeros((3, 1), dtype=np.uint64))
+
+    def test_missing_input_rejected(self):
+        sim = BitSimulator(c17())
+        with pytest.raises(ValueError):
+            sim.run({"G1": np.zeros(1, dtype=np.uint64)})
+
+    def test_forced_net_propagates(self):
+        nl = Netlist("f")
+        nl.add_input("a")
+        nl.add_gate("m", GateType.NOT, ["a"])
+        nl.add_gate("y", GateType.NOT, ["m"])
+        nl.set_outputs(["y"])
+        sim = BitSimulator(nl)
+        ones = broadcast_constant(1, 1)
+        out = sim.run_outputs({"a": broadcast_constant(0, 1)}, forced={"m": ones * 0})
+        # m forced to 0 -> y = 1
+        assert int(out[0][0]) & 1 == 1
+
+    def test_forced_input_net(self):
+        nl = Netlist("f")
+        nl.add_input("a")
+        nl.add_gate("y", GateType.BUF, ["a"])
+        nl.set_outputs(["y"])
+        sim = BitSimulator(nl)
+        out = sim.run_outputs(
+            {"a": broadcast_constant(0, 1)},
+            forced={"a": broadcast_constant(1, 1)},
+        )
+        assert int(out[0][0]) & 1 == 1
+
+
+class TestPatternSources:
+    def test_random_words_deterministic(self):
+        a = random_words(4, 100, seed=5)
+        b = random_words(4, 100, seed=5)
+        assert (a == b).all()
+        c = random_words(4, 100, seed=6)
+        assert not (a == c).all()
+
+    def test_random_words_tail_masked(self):
+        w = random_words(2, 10, seed=0)
+        assert ((w[:, -1] & ~tail_mask(10)) == 0).all()
+
+    def test_exhaustive_limits(self):
+        with pytest.raises(ValueError):
+            exhaustive_words(21)
+
+    def test_weighted_bias(self):
+        w = weighted_words(1, 6400, 0.9, seed=0)
+        assert popcount_words(w) > 5000
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_int_assignment_roundtrip(self, v):
+        names = [f"x{i}" for i in range(8)]
+        asg = int_to_assignment(v, names)
+        assert assignment_to_int(asg, names) == v
+
+
+class TestMetrics:
+    def test_hamming_distance_words(self):
+        a = np.array([[np.uint64(0b1100)]])
+        b = np.array([[np.uint64(0b1010)]])
+        assert hamming_distance_words(a.copy(), b, 4) == 2
+
+    def test_measure_corruption_detects_xor_key(self):
+        # locked: y = a XOR k ; correct key 0 -> wrong key flips everything
+        nl = Netlist("l")
+        nl.add_input("a")
+        nl.add_input("k")
+        nl.add_gate("y", GateType.XOR, ["a", "k"])
+        nl.set_outputs(["y"])
+        rep = measure_corruption(nl, ["k"], {"k": 0}, n_patterns=256, n_keys=3)
+        assert rep.hd_percent == 100.0
+        assert rep.corrupted_pattern_fraction == 1.0
+
+    def test_measure_corruption_zero_for_dead_key(self):
+        nl = Netlist("l")
+        nl.add_input("a")
+        nl.add_input("k")
+        nl.add_gate("dead", GateType.AND, ["k", "k"])
+        nl.add_gate("y", GateType.BUF, ["a"])
+        nl.set_outputs(["y"])
+        rep = measure_corruption(nl, ["k"], {"k": 0}, n_patterns=256, n_keys=1)
+        assert rep.hd_percent == 0.0
+
+    def test_functional_match_identical(self):
+        nl = ripple_adder(3)
+        assert functional_match_fraction(nl, nl.copy(), n_patterns=256) == 1.0
+
+    def test_functional_match_with_fixed_inputs(self):
+        a = Netlist("a")
+        a.add_input("x")
+        a.add_gate("y", GateType.BUF, ["x"])
+        a.set_outputs(["y"])
+        b = Netlist("b")
+        b.add_input("x")
+        b.add_input("k")
+        b.add_gate("y", GateType.XOR, ["x", "k"])
+        b.set_outputs(["y"])
+        assert (
+            functional_match_fraction(a, b, n_patterns=128, inputs_b={"k": 0})
+            == 1.0
+        )
+        assert (
+            functional_match_fraction(a, b, n_patterns=128, inputs_b={"k": 1})
+            == 0.0
+        )
+
+    def test_mismatched_inputs_rejected(self):
+        a = ripple_adder(2)
+        b = ripple_adder(3)
+        with pytest.raises(ValueError):
+            functional_match_fraction(a, b)

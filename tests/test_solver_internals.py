@@ -1,0 +1,126 @@
+"""White-box tests for CDCL solver internals."""
+
+import random
+
+import pytest
+
+from repro.sat import CNF, BudgetExhausted, Solver, solve_cnf
+from repro.sat.solver import _luby
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(15)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers_appear(self):
+        seq = [_luby(i) for i in range(127)]
+        assert 16 in seq and 32 in seq
+
+
+class TestIncrementalSafety:
+    def test_add_clause_rejected_mid_decision(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s._trail_lim.append(0)  # simulate an open decision level
+        with pytest.raises(RuntimeError):
+            s.add_clause([3])
+        s._trail_lim.pop()
+
+    def test_level0_simplification(self):
+        s = Solver()
+        s.add_clause([1])  # unit: level-0 fact
+        # a clause satisfied at level 0 is dropped silently
+        assert s.add_clause([1, 2])
+        # a falsified literal is removed from new clauses
+        assert s.add_clause([-1, 3])
+        r = s.solve()
+        assert r.sat and r.model[3] is True
+
+    def test_trivially_unsat_via_units(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert not s.solve().sat
+        # further clauses keep reporting failure
+        assert not s.add_clause([2])
+
+    def test_solver_reusable_after_unsat_assumptions(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        assert not s.solve(assumptions=[-2]).sat
+        r = s.solve()
+        assert r.sat and r.model[2] is True
+        # repeated alternation keeps working
+        for _ in range(3):
+            assert not s.solve(assumptions=[-2]).sat
+            assert s.solve().sat
+
+
+class TestLearnedClauseMachinery:
+    def test_db_reduction_preserves_correctness(self):
+        """Force clause-DB reductions and confirm UNSAT is still proven."""
+
+        def php(n):
+            cnf = CNF()
+            var = {}
+            for p in range(n + 1):
+                for h in range(n):
+                    var[p, h] = cnf.new_var()
+            for p in range(n + 1):
+                cnf.add_clause([var[p, h] for h in range(n)])
+            for h in range(n):
+                for p1 in range(n + 1):
+                    for p2 in range(p1 + 1, n + 1):
+                        cnf.add_clause([-var[p1, h], -var[p2, h]])
+            return cnf
+
+        s = Solver(php(6))
+        s._max_learned = 50  # force frequent reductions
+        assert not s.solve().sat
+
+    def test_budget_exhausted_leaves_solver_usable(self):
+        def php(n):
+            cnf = CNF()
+            var = {}
+            for p in range(n + 1):
+                for h in range(n):
+                    var[p, h] = cnf.new_var()
+            for p in range(n + 1):
+                cnf.add_clause([var[p, h] for h in range(n)])
+            for h in range(n):
+                for p1 in range(n + 1):
+                    for p2 in range(p1 + 1, n + 1):
+                        cnf.add_clause([-var[p1, h], -var[p2, h]])
+            return cnf
+
+        s = Solver(php(7))
+        with pytest.raises(BudgetExhausted):
+            s.solve(conflict_budget=10)
+        # the solver keeps its learned clauses and can finish later
+        assert not s.solve().sat
+
+
+class TestModelCompleteness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_models_cover_all_variables(self, seed):
+        rng = random.Random(seed)
+        cnf = CNF()
+        nv = 12
+        cnf.n_vars = nv
+        for _ in range(20):
+            lits = rng.sample(range(1, nv + 1), 3)
+            cnf.add_clause([l if rng.random() < 0.5 else -l for l in lits])
+        r = solve_cnf(cnf)
+        if r.sat:
+            assert set(r.model) == set(range(1, nv + 1))
+
+    def test_isolated_variables_get_values(self):
+        cnf = CNF()
+        cnf.n_vars = 5  # vars 2..5 appear in no clause
+        cnf.add_clause([1])
+        r = solve_cnf(cnf)
+        assert r.sat
+        assert set(r.model) == {1, 2, 3, 4, 5}

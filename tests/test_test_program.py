@@ -1,0 +1,105 @@
+"""Tests for the locked scan-test program flow (tested-locked semantics)."""
+
+import pytest
+
+from repro.atpg import (
+    Fault,
+    apply_test_program,
+    build_test_program,
+    chip_with_defect,
+    collapse_faults,
+)
+from repro.experiments.attack_matrix import default_design
+
+
+@pytest.fixture(scope="module")
+def design():
+    return default_design(seed=7, variant="basic")
+
+
+@pytest.fixture(scope="module")
+def program(design):
+    return build_test_program(design, n_random_patterns=256)
+
+
+class TestProgramGeneration:
+    def test_program_nonempty(self, program):
+        assert len(program) > 10
+
+    def test_vectors_cover_key_cells(self, design, program):
+        """Key-register cells are part of the scan load — the paper's
+        'the tool was allowed to set any value to the key inputs'."""
+        n_keys = design.lfsr_config.size
+        some_key_set = any(
+            any(v.load_state.get(f"kr{i}", 0) for i in range(n_keys))
+            for v in program.vectors
+        )
+        assert some_key_set
+
+    def test_expectations_are_locked_circuit_responses(self, design, program):
+        """Expected values must come from the locked netlist, not the
+        original — published test data is useless as an oracle."""
+        core = design.locked.locked
+        key_inputs = design.locked.key_inputs
+        vec = next(
+            v
+            for v in program.vectors
+            if any(v.load_state.get(f"kr{i}", 0) == 0 for i in range(3))
+        )
+        assignment = dict(vec.pi_values)
+        for i, k in enumerate(key_inputs):
+            assignment[k] = vec.load_state.get(f"kr{i}", 0)
+        for ff in design.design.flops:
+            assignment[ff.q] = vec.load_state.get(ff.name, 0)
+        values = core.evaluate(assignment)
+        assert vec.expected_po == {
+            o: values[o] for o in design.design.primary_outputs
+        }
+
+
+class TestProgramApplication:
+    def test_good_chip_passes(self, design, program):
+        chip = design.build_chip()
+        chip.reset()
+        rep = apply_test_program(chip, program)
+        assert rep.passed
+        assert rep.first_failure is None
+
+    def test_good_chip_passes_even_after_unlock(self, design, program):
+        """Testing after field operation: scan entry relocks, responses
+        still match the locked expectations (periodic-test support)."""
+        chip = design.build_chip()
+        chip.reset()
+        chip.unlock()
+        chip.functional_cycle({p: 1 for p in chip.primary_inputs})
+        rep = apply_test_program(chip, program)
+        assert rep.passed
+
+    def test_defective_chip_fails(self, design, program):
+        faults = [
+            f
+            for f in collapse_faults(design.locked.locked)
+            if f.pin is None
+            and not design.locked.locked.gate(f.gate).gtype.is_source
+        ]
+        detected_any = 0
+        for fault in faults[:: max(1, len(faults) // 4)][:4]:
+            bad = chip_with_defect(design, fault)
+            bad.reset()
+            rep = apply_test_program(bad, program)
+            if rep.n_failing > 0:
+                detected_any += 1
+        assert detected_any >= 3  # the program screens real defects
+
+    def test_unprotected_baseline_also_passes(self, design, program):
+        """The baseline chip's key register isn't scannable, so the key
+        cells of the pattern have no effect — expectations are computed
+        with the loaded key values, so the (unlocked) baseline fails the
+        locked program instead: the programs are not interchangeable."""
+        chip = design.baseline_chip()
+        chip.reset()
+        chip.unlock()
+        rep = apply_test_program(chip, program)
+        # the correct key differs from most scanned-in key-cell patterns,
+        # so at least one vector must mismatch
+        assert not rep.passed

@@ -1,0 +1,47 @@
+"""Tests for the structural Verilog writer."""
+
+from repro.bench import c17, s27_like
+from repro.netlist import GateType, Netlist, write_verilog
+
+
+class TestCombinationalWriter:
+    def test_module_structure(self):
+        text = write_verilog(c17())
+        assert text.startswith("module c17")
+        assert text.rstrip().endswith("endmodule")
+        assert "input G1;" in text
+        assert "output G22;" in text
+        assert text.count("nand ") == 6
+
+    def test_constants_and_mux(self):
+        nl = Netlist("m")
+        nl.add_input("s")
+        nl.add_gate("one", GateType.CONST1)
+        nl.add_gate("zero", GateType.CONST0)
+        nl.add_gate("y", GateType.MUX, ["s", "zero", "one"])
+        nl.set_outputs(["y"])
+        text = write_verilog(nl)
+        assert "assign one = 1'b1;" in text
+        assert "assign y = s ? one : zero;" in text
+
+    def test_name_escaping(self):
+        nl = Netlist("esc")
+        nl.add_input("a[0]")
+        nl.add_gate("y", GateType.NOT, ["a[0]"])
+        nl.set_outputs(["y"])
+        text = write_verilog(nl)
+        assert "\\a[0] " in text
+
+
+class TestSequentialWriter:
+    def test_scan_ports_present(self):
+        text = write_verilog(s27_like())
+        assert "input clk, scan_enable, scan_in;" in text
+        assert "output scan_out;" in text
+        assert "always @(posedge clk)" in text
+        assert "scan_enable ?" in text
+
+    def test_flop_state_regs(self):
+        text = write_verilog(s27_like())
+        assert "reg ff5_state;" in text
+        assert "assign Q5 = ff5_state;" in text

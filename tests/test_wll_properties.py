@@ -1,0 +1,102 @@
+"""Property-based tests on the core locking/OraP invariants (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import GeneratorConfig, generate_netlist
+from repro.locking import WLLConfig, lock_random, lock_weighted
+from repro.orap import LFSR, LFSRConfig, ReseedSchedule, final_state, plan_key_sequence
+from repro.sim import functional_match_fraction
+
+
+@st.composite
+def small_circuit(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_in = draw(st.integers(6, 12))
+    n_out = draw(st.integers(4, 8))
+    n_gates = draw(st.integers(30, 90))
+    return generate_netlist(
+        GeneratorConfig(
+            n_inputs=n_in, n_outputs=n_out, n_gates=n_gates, depth=6,
+            seed=seed, name=f"prop{seed}",
+        )
+    )
+
+
+class TestLockingInvariants:
+    @given(small_circuit(), st.integers(0, 1000))
+    @settings(max_examples=10)
+    def test_rll_correct_key_is_identity(self, nl, seed):
+        lc = lock_random(nl, key_width=4, rng=seed)
+        assert (
+            functional_match_fraction(
+                lc.original, lc.locked, n_patterns=256,
+                inputs_b=lc.correct_key,
+            )
+            == 1.0
+        )
+
+    @given(small_circuit(), st.integers(0, 1000))
+    @settings(max_examples=8)
+    def test_wll_correct_key_is_identity(self, nl, seed):
+        lc = lock_weighted(
+            nl, WLLConfig(key_width=6, control_width=3, n_key_gates=2),
+            rng=seed,
+        )
+        assert (
+            functional_match_fraction(
+                lc.original, lc.locked, n_patterns=256,
+                inputs_b=lc.correct_key,
+            )
+            == 1.0
+        )
+
+    @given(small_circuit(), st.integers(0, 1000))
+    @settings(max_examples=8)
+    def test_locking_preserves_interface(self, nl, seed):
+        lc = lock_random(nl, key_width=4, rng=seed)
+        assert lc.data_inputs == nl.inputs
+        assert lc.locked.outputs == nl.outputs
+
+
+class TestLFSRInvariants:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=20)
+    def test_planning_roundtrip(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(8, 40)
+        cfg = LFSRConfig(size=n)
+        sched = ReseedSchedule.randomized(
+            n_seeds=rng.randint(1, 5), rng=seed
+        )
+        target = [rng.randrange(2) for _ in range(n)]
+        seq = plan_key_sequence(cfg, sched, target, rng=seed)
+        assert final_state(cfg, seq) == target
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=20)
+    def test_lfsr_linearity(self, seed):
+        """step(a XOR b) from 0 == step(a) XOR step(b) (GF(2) linearity)."""
+        rng = random.Random(seed)
+        n = rng.randint(4, 24)
+        cfg = LFSRConfig(size=n)
+        sa = [rng.randrange(2) for _ in range(n)]
+        sb = [rng.randrange(2) for _ in range(n)]
+        la, lb, lab = LFSR(cfg), LFSR(cfg), LFSR(cfg)
+        la.step(sa)
+        lb.step(sb)
+        lab.step([x ^ y for x, y in zip(sa, sb)])
+        assert lab.state == [x ^ y for x, y in zip(la.state, lb.state)]
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_clear_then_freerun_stays_zero(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 32)
+        lfsr = LFSR(LFSRConfig(size=n), [rng.randrange(2) for _ in range(n)])
+        lfsr.clear()
+        for _ in range(rng.randint(1, 20)):
+            lfsr.step(None)
+        assert lfsr.state == [0] * n
