@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev test bench experiments examples clean
+.PHONY: install dev test verify-fast verify-robust bench experiments examples clean
 
 install:
 	pip install -e .
@@ -12,6 +12,15 @@ dev:
 
 test:
 	$(PY) -m pytest tests/
+
+# quick signal: everything except the slow end-to-end suites
+verify-fast:
+	$(PY) -m pytest tests/ -m "not slow"
+
+# robustness gate: runtime governance, fault injection, kill/resume
+verify-robust:
+	$(PY) -m pytest tests/test_runtime.py tests/test_checkpoint.py \
+		tests/test_faultinject.py tests/test_resume.py tests/test_bench_io.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

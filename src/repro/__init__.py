@@ -16,6 +16,8 @@ Subpackages:
 * :mod:`repro.synth` — AIG resynthesis and Table I overhead metrics
 * :mod:`repro.bench` — benchmark fixtures, synthetic generator, paper registry
 * :mod:`repro.experiments` — one harness per paper table/figure (E1..E5)
+* :mod:`repro.runtime` — resource governance: budgets/deadlines, guarded
+  execution, crash-safe checkpoints, deterministic fault injection
 
 Quickstart::
 
@@ -49,4 +51,5 @@ __all__ = [
     "synth",
     "bench",
     "experiments",
+    "runtime",
 ]

@@ -25,18 +25,57 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
+    def add_policy_flags(p) -> None:
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse checkpointed rows with matching parameters",
+        )
+        p.add_argument(
+            "--checkpoint-dir",
+            type=str,
+            default=None,
+            help="checkpoint root (default .repro-checkpoints; "
+            "implied by --resume)",
+        )
+        p.add_argument(
+            "--row-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget per row (expired rows are recorded "
+            "as timeout)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="extra attempts for rows that end in error",
+        )
+
     p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
     p1.add_argument("--scale", type=float, default=None)
     p1.add_argument("--circuits", type=str, default=None)
     p1.add_argument("--patterns", type=int, default=4096)
+    add_policy_flags(p1)
 
     p2 = sub.add_parser("table2", help="Table II: stuck-at testability")
     p2.add_argument("--scale", type=float, default=None)
     p2.add_argument("--circuits", type=str, default=None)
     p2.add_argument("--patterns", type=int, default=1024)
+    add_policy_flags(p2)
 
     pa = sub.add_parser("attacks", help="Sect. II-A attack matrix")
     pa.add_argument("--variant", choices=["basic", "modified"], default="basic")
+    pa.add_argument(
+        "--attack-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per attack (expired attacks show as "
+        "timeout rows)",
+    )
+    add_policy_flags(pa)
 
     sub.add_parser("trojans", help="Sect. III Trojan payload table")
     sub.add_parser("protocol", help="Figs. 1-3 protocol checks")
@@ -67,12 +106,33 @@ def main(argv: list[str] | None = None) -> int:
     def circuits_of(s: str | None) -> list[str] | None:
         return s.split(",") if s else None
 
+    def policy_of(a) -> "RunPolicy | None":
+        from .experiments import DEFAULT_CHECKPOINT_ROOT, RunPolicy
+
+        checkpoint_dir = a.checkpoint_dir
+        if a.resume and checkpoint_dir is None:
+            checkpoint_dir = DEFAULT_CHECKPOINT_ROOT
+        if (
+            checkpoint_dir is None
+            and not a.resume
+            and a.row_deadline is None
+            and a.retries == 0
+        ):
+            return None
+        return RunPolicy(
+            checkpoint_dir=checkpoint_dir,
+            resume=a.resume,
+            row_deadline_s=a.row_deadline,
+            retries=a.retries,
+        )
+
     if args.cmd == "table1":
         print_table1(
             run_table1(
                 scale=args.scale or DEFAULT_SCALE,
                 circuits=circuits_of(args.circuits),
                 n_patterns=args.patterns,
+                policy=policy_of(args),
             )
         )
     elif args.cmd == "table2":
@@ -81,10 +141,17 @@ def main(argv: list[str] | None = None) -> int:
                 scale=args.scale or DEFAULT_SCALE,
                 circuits=circuits_of(args.circuits),
                 n_random_patterns=args.patterns,
+                policy=policy_of(args),
             )
         )
     elif args.cmd == "attacks":
-        print_attack_matrix(run_attack_matrix(variant=args.variant))
+        print_attack_matrix(
+            run_attack_matrix(
+                variant=args.variant,
+                attack_deadline_s=args.attack_deadline,
+                policy=policy_of(args),
+            )
+        )
     elif args.cmd == "trojans":
         print_trojan_table(run_trojan_table())
     elif args.cmd == "protocol":

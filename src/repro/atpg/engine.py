@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..netlist import Netlist
+from ..runtime.budget import Budget
 from ..sim import random_words
 from .faults import Fault, collapse_faults
 from .faultsim import FaultSimulator
@@ -61,6 +62,7 @@ def run_atpg(
     collect_patterns: bool = False,
     deterministic: str = "podem+sat",
     sat_conflict_budget: int | None = 3000,
+    budget: Budget | None = None,
 ) -> ATPGReport:
     """Run the full ATPG flow on a combinational netlist.
 
@@ -74,6 +76,11 @@ def run_atpg(
             faults as redundant), "sat" (exact, miter-based), or
             "podem+sat" (PODEM fast path, SAT arbitration of every
             REDUNDANT/ABORTED verdict — exact and usually fastest).
+        budget: optional shared :class:`~repro.runtime.Budget` governing
+            the whole flow — the random phase charges pattern-equivalents
+            per fault simulated, PODEM charges backtracks, and the SAT
+            arbiter's conflicts count against it; a violation raises out
+            of this function (harnesses catch via run_guarded).
     """
     if deterministic not in ("podem", "sat", "podem+sat"):
         raise ValueError(f"unknown deterministic engine {deterministic!r}")
@@ -93,7 +100,7 @@ def run_atpg(
         )
         in_words = {name: words[i] for i, name in enumerate(netlist.inputs)}
         detected = simulator.run(
-            sorted(remaining, key=Fault.sort_key), in_words, n_pat
+            sorted(remaining, key=Fault.sort_key), in_words, n_pat, budget=budget
         )
         n_random_detected += len(detected)
         remaining -= detected
@@ -112,13 +119,13 @@ def run_atpg(
 
     def deterministic_test(fault: Fault):
         if deterministic == "sat":
-            return sat_generate(netlist, fault, sat_conflict_budget)
-        result = podem.generate(fault)
+            return sat_generate(netlist, fault, sat_conflict_budget, budget=budget)
+        result = podem.generate(fault, budget=budget)
         if deterministic == "podem+sat" and result.outcome in (
             TestOutcome.REDUNDANT,
             TestOutcome.ABORTED,
         ):
-            return sat_generate(netlist, fault, sat_conflict_budget)
+            return sat_generate(netlist, fault, sat_conflict_budget, budget=budget)
         return result
 
     n_redundant = 0
@@ -151,7 +158,9 @@ def run_atpg(
         in_words = {
             name: words[i] for i, name in enumerate(netlist.inputs)
         }
-        dropped = simulator.run(sorted(alive, key=Fault.sort_key), in_words, 1)
+        dropped = simulator.run(
+            sorted(alive, key=Fault.sort_key), in_words, 1, budget=budget
+        )
         if fault not in dropped:
             # defensive: PODEM claimed detection but simulation disagrees —
             # count the fault as aborted rather than mis-reporting coverage

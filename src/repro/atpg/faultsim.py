@@ -14,6 +14,8 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..netlist import GateType, Netlist
+from ..runtime import faultinject
+from ..runtime.budget import Budget
 from ..sim.bitsim import BitSimulator, _eval_words, tail_mask
 from .faults import Fault
 
@@ -118,11 +120,22 @@ class FaultSimulator:
         faults: Iterable[Fault],
         input_words: Mapping[str, np.ndarray],
         n_patterns: int,
+        budget: Budget | None = None,
     ) -> set[Fault]:
-        """Return the subset of ``faults`` detected by the pattern block."""
+        """Return the subset of ``faults`` detected by the pattern block.
+
+        ``budget`` (if given) is charged ``n_patterns``
+        pattern-equivalents per fault simulated and polled for its
+        deadline at the same granularity — one fault's propagation is
+        the natural cooperative checkpoint of this inner loop.
+        """
         good = self.good_values(input_words)
         detected: set[Fault] = set()
         for fault in faults:
+            if faultinject.enabled:
+                faultinject.fire("faultsim.fault")
+            if budget is not None:
+                budget.charge_patterns(n_patterns)
             mask = self.detects(fault, good, n_patterns, early_exit=True)
             if mask.any():
                 detected.add(fault)

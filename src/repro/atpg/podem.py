@@ -17,6 +17,8 @@ import enum
 from dataclasses import dataclass
 
 from ..netlist import GateType, Netlist, controlling_value
+from ..runtime import faultinject
+from ..runtime.budget import Budget
 from .faults import Fault
 
 X = None  # three-valued unknown
@@ -274,12 +276,20 @@ class PODEM:
         return None
 
     # ------------------------------------------------------------------ #
-    def generate(self, fault: Fault) -> TestResult:
-        """Generate a test for one fault."""
+    def generate(self, fault: Fault, budget: Budget | None = None) -> TestResult:
+        """Generate a test for one fault.
+
+        ``budget`` (if given) is polled for its wall-clock deadline once
+        per search iteration and charged one backtrack per backtrack —
+        violations raise out of the search (the per-fault
+        ``max_backtracks`` abort limit still yields ABORTED as before).
+        """
         assignment: dict[str, int] = {}
         stack: list[list] = []  # [pi, value, tried_both]
         backtracks = 0
         while True:
+            if budget is not None:
+                budget.check_deadline()
             good, faulty = self._imply(fault, assignment)
             if self._detected(good, faulty):
                 pattern = {pi: assignment.get(pi, 0) for pi in self._pis}
@@ -299,6 +309,10 @@ class PODEM:
                 pi, v, tried = stack.pop()
                 if not tried:
                     backtracks += 1
+                    if faultinject.enabled:
+                        faultinject.fire("podem.backtrack")
+                    if budget is not None:
+                        budget.charge_backtrack()
                     if backtracks > self.max_backtracks:
                         return TestResult(TestOutcome.ABORTED, None, backtracks)
                     assignment[pi] = 1 - v

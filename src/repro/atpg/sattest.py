@@ -10,8 +10,8 @@ the classification Table II reports must be exact.
 from __future__ import annotations
 
 from ..netlist import GateType, Netlist
+from ..runtime.budget import Budget, BudgetExhausted
 from ..sat import CNF, CircuitEncoder, Solver
-from ..sat.solver import BudgetExhausted
 from .faults import Fault
 from .podem import TestOutcome, TestResult
 
@@ -54,12 +54,18 @@ def inject_fault(netlist: Netlist, fault: Fault) -> Netlist:
 
 
 def sat_generate(
-    netlist: Netlist, fault: Fault, conflict_budget: int | None = 3000
+    netlist: Netlist,
+    fault: Fault,
+    conflict_budget: int | None = 3000,
+    budget: Budget | None = None,
 ) -> TestResult:
     """Exact single-fault test generation via SAT.
 
     Returns DETECTED with a pattern, REDUNDANT on UNSAT, or ABORTED when
-    the conflict budget runs out.
+    the per-call conflict budget runs out.  ``budget`` (if given) is a
+    shared :class:`~repro.runtime.Budget` charged for every conflict; its
+    violations (including deadline expiry) propagate to the caller
+    instead of being folded into ABORTED.
     """
     faulty = inject_fault(netlist, fault)
     cnf = CNF()
@@ -78,8 +84,10 @@ def sat_generate(
     cnf.add_clause(diffs)
     solver = Solver(cnf)
     try:
-        res = solver.solve(conflict_budget=conflict_budget)
+        res = solver.solve(conflict_budget=conflict_budget, budget=budget)
     except BudgetExhausted:
+        if budget is not None and budget.exhausted():
+            raise  # shared budget violation belongs to the caller
         return TestResult(TestOutcome.ABORTED, None, 0)
     if not res.sat:
         return TestResult(TestOutcome.REDUNDANT, None, 0)

@@ -9,7 +9,12 @@ from .oracle import (
     OracleBudgetExceeded,
     ScanOracle,
 )
-from .result import AttackResult, key_is_correct, netlist_is_correct
+from .result import (
+    AttackResult,
+    exhausted_result,
+    key_is_correct,
+    netlist_is_correct,
+)
 from .encoding import AIGEncoder
 from .satattack import SATAttackConfig, extract_consistent_key, sat_attack
 from .appsat import AppSATConfig, appsat_attack
@@ -47,6 +52,7 @@ __all__ = [
     "OracleBudgetExceeded",
     "ScanOracle",
     "AttackResult",
+    "exhausted_result",
     "key_is_correct",
     "netlist_is_correct",
     "AIGEncoder",

@@ -16,10 +16,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..netlist import GateType, Netlist
+from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import Solver
 from .encoding import AIGEncoder
 from .oracle import Oracle
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 from .satattack import extract_consistent_key
 
 
@@ -32,6 +33,7 @@ class AppSATConfig:
     probe_queries: int = 32
     error_threshold: float = 0.0
     seed: int = 0
+    budget: Budget | None = None
 
 
 def appsat_attack(
@@ -85,37 +87,51 @@ def appsat_attack(
     error_rate: float | None = None
     candidate: dict[str, int] | None = None
     iterations = 0
-    while iterations < config.max_iterations:
-        res = solver.solve()
-        if not res.sat:
-            exact_unsat = True
-            break
-        assert res.model is not None
-        dip = {
-            name: int(res.model[enc.pi_var(lit)])
-            for name, lit in x_lits.items()
-        }
-        raw = oracle.query(dip)
-        response = {o: int(bool(raw[o])) for o in locked.outputs}
-        io_log.append((dip, response))
-        add_io_constraint(dip, response)
-        iterations += 1
-        if iterations % config.probe_period == 0:
-            candidate = extract_consistent_key(locked, key_inputs, io_log)
-            if candidate is None:
-                continue
-            error_rate = estimate_error(candidate)
-            if error_rate <= config.error_threshold:
-                return AttackResult(
-                    attack="appsat",
-                    recovered_key=candidate,
-                    completed=True,
-                    iterations=iterations,
-                    oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
-                    notes={"error_rate": error_rate, "early_exit": True},
+    budget = config.budget
+    try:
+        while iterations < config.max_iterations:
+            if budget is not None:
+                budget.check_deadline()
+            res = solver.solve(budget=budget)
+            if not res.sat:
+                exact_unsat = True
+                break
+            assert res.model is not None
+            dip = {
+                name: int(res.model[enc.pi_var(lit)])
+                for name, lit in x_lits.items()
+            }
+            raw = oracle.query(dip)
+            response = {o: int(bool(raw[o])) for o in locked.outputs}
+            io_log.append((dip, response))
+            add_io_constraint(dip, response)
+            iterations += 1
+            if iterations % config.probe_period == 0:
+                candidate = extract_consistent_key(
+                    locked, key_inputs, io_log, budget=budget
                 )
+                if candidate is None:
+                    continue
+                error_rate = estimate_error(candidate)
+                if error_rate <= config.error_threshold:
+                    return AttackResult(
+                        attack="appsat",
+                        recovered_key=candidate,
+                        completed=True,
+                        iterations=iterations,
+                        oracle_queries=getattr(oracle, "n_queries", 0)
+                        - start_queries,
+                        notes={"error_rate": error_rate, "early_exit": True},
+                    )
 
-    key = extract_consistent_key(locked, key_inputs, io_log)
+        key = extract_consistent_key(locked, key_inputs, io_log, budget=budget)
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "appsat",
+            exc,
+            iterations=iterations,
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        )
     return AttackResult(
         attack="appsat",
         recovered_key=key,

@@ -24,9 +24,10 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..netlist import GateType, Netlist
+from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import CNF, CircuitEncoder, Solver
 from .oracle import Oracle
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 
 
 @dataclass
@@ -34,6 +35,7 @@ class BypassConfig:
     """Knobs for :func:`bypass_attack`."""
     max_error_points: int = 32
     seed: int = 0
+    budget: Budget | None = None
 
 
 def enumerate_disagreements(
@@ -42,6 +44,7 @@ def enumerate_disagreements(
     key_a: Mapping[str, int],
     key_b: Mapping[str, int],
     limit: int,
+    budget: Budget | None = None,
 ) -> list[dict[str, int]] | None:
     """All inputs where two fixed-key copies differ (None if > limit)."""
     key_set = set(key_inputs)
@@ -74,7 +77,9 @@ def enumerate_disagreements(
     solver = Solver(cnf)
     cubes: list[dict[str, int]] = []
     while True:
-        res = solver.solve()
+        if budget is not None:
+            budget.check_deadline()
+        res = solver.solve(budget=budget)
         if not res.sat:
             return cubes
         assert res.model is not None
@@ -156,12 +161,22 @@ def bypass_attack(
     data_inputs0 = [i for i in locked.inputs if i not in key_set0]
     err_samples = 0
     n_probe = 48
-    for _ in range(n_probe):
-        pattern = {i: rng.randrange(2) for i in data_inputs0}
-        raw = oracle.query(pattern)
-        got = locked.evaluate_outputs({**pattern, **key_a})
-        if any(got[o] != int(bool(raw[o])) for o in locked.outputs):
-            err_samples += 1
+    budget = config.budget
+    try:
+        for _ in range(n_probe):
+            if budget is not None:
+                budget.check_deadline()
+            pattern = {i: rng.randrange(2) for i in data_inputs0}
+            raw = oracle.query(pattern)
+            got = locked.evaluate_outputs({**pattern, **key_a})
+            if any(got[o] != int(bool(raw[o])) for o in locked.outputs):
+                err_samples += 1
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "bypass",
+            exc,
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        )
     if err_samples / n_probe > 0.05:
         return AttackResult(
             attack="bypass",
@@ -174,9 +189,17 @@ def bypass_attack(
             },
         )
 
-    points = enumerate_disagreements(
-        locked, key_inputs, key_a, key_b, config.max_error_points
-    )
+    try:
+        points = enumerate_disagreements(
+            locked, key_inputs, key_a, key_b, config.max_error_points,
+            budget=budget,
+        )
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "bypass",
+            exc,
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        )
     if points is None:
         return AttackResult(
             attack="bypass",
@@ -198,34 +221,44 @@ def bypass_attack(
         return [o for o in locked.outputs if got[o] != int(bool(raw[o]))]
 
     fixes: list[tuple[dict[str, int], list[str]]] = []
-    for cube in points:
-        # representative pattern: don't-cares at 0
-        pattern = {i: int(bool(cube.get(i, 0))) for i in data_inputs}
-        flip_outputs = errs(pattern)
-        if not flip_outputs:
-            # the representative may sit in key_b's error region while
-            # key_a's lies across one of the cube's don't-care bits
+    try:
+        for cube in points:
+            if budget is not None:
+                budget.check_deadline()
+            # representative pattern: don't-cares at 0
+            pattern = {i: int(bool(cube.get(i, 0))) for i in data_inputs}
+            flip_outputs = errs(pattern)
+            if not flip_outputs:
+                # the representative may sit in key_b's error region while
+                # key_a's lies across one of the cube's don't-care bits
+                for name in data_inputs:
+                    if name in cube:
+                        continue
+                    probe = dict(pattern)
+                    probe[name] ^= 1
+                    flip_outputs = errs(probe)
+                    if flip_outputs:
+                        pattern = probe
+                        break
+            if not flip_outputs:
+                continue  # this disagreement cube was key_b's error only
+            # re-expand the cube against the *oracle* (the Ka-vs-Kb cube may
+            # merge both keys' error regions): an input is a don't-care only
+            # if flipping it leaves the same outputs wrong
+            fix_cube: dict[str, int] = {}
             for name in data_inputs:
-                if name in cube:
-                    continue
-                probe = dict(pattern)
-                probe[name] ^= 1
-                flip_outputs = errs(probe)
-                if flip_outputs:
-                    pattern = probe
-                    break
-        if not flip_outputs:
-            continue  # this disagreement cube was key_b's error only
-        # re-expand the cube against the *oracle* (the Ka-vs-Kb cube may
-        # merge both keys' error regions): an input is a don't-care only
-        # if flipping it leaves the same outputs wrong
-        fix_cube: dict[str, int] = {}
-        for name in data_inputs:
-            flipped = dict(pattern)
-            flipped[name] ^= 1
-            if errs(flipped) != flip_outputs:
-                fix_cube[name] = pattern[name]
-        fixes.append((fix_cube, flip_outputs))
+                flipped = dict(pattern)
+                flipped[name] ^= 1
+                if errs(flipped) != flip_outputs:
+                    fix_cube[name] = pattern[name]
+            fixes.append((fix_cube, flip_outputs))
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "bypass",
+            exc,
+            iterations=len(points),
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        )
     rebuilt = build_bypassed_netlist(locked, key_inputs, key_a, fixes)
     return AttackResult(
         attack="bypass",

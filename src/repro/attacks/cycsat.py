@@ -25,9 +25,10 @@ import networkx as nx
 
 from ..locking import LockedCircuit
 from ..netlist import Netlist
+from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import CNF, CircuitEncoder, Solver
 from .oracle import Oracle
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 
 
 @dataclass
@@ -35,6 +36,7 @@ class CycSATConfig:
     """Knobs for :func:`cycsat_attack`."""
     max_iterations: int = 128
     max_cycles_enumerated: int = 2000
+    budget: Budget | None = None
 
 
 def no_cycle_clauses(
@@ -133,25 +135,37 @@ def cycsat_attack(
             v = enc.var(name)
             solver.add_clause([v] if value else [-v])
 
-    while len(io_log) < config.max_iterations:
-        res = solver.solve()
-        if not res.sat:
-            break
-        assert res.model is not None
-        dip = {name: int(res.model[v]) for name, v in x_vars.items()}
-        raw = oracle.query(dip)
-        response = {o: int(bool(raw[o])) for o in locked.outputs}
-        io_log.append((dip, response))
-        constrain(k1_vars, dip, response)
-        constrain(k2_vars, dip, response)
-    else:
-        return AttackResult(
-            attack="cycsat",
-            recovered_key=None,
-            completed=False,
+    budget = config.budget
+    try:
+        while len(io_log) < config.max_iterations:
+            if budget is not None:
+                budget.check_deadline()
+            res = solver.solve(budget=budget)
+            if not res.sat:
+                break
+            assert res.model is not None
+            dip = {name: int(res.model[v]) for name, v in x_vars.items()}
+            raw = oracle.query(dip)
+            response = {o: int(bool(raw[o])) for o in locked.outputs}
+            io_log.append((dip, response))
+            constrain(k1_vars, dip, response)
+            constrain(k2_vars, dip, response)
+        else:
+            return AttackResult(
+                attack="cycsat",
+                recovered_key=None,
+                completed=False,
+                iterations=len(io_log),
+                oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+                status="budget",
+                notes={"reason": "iteration budget exhausted"},
+            )
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "cycsat",
+            exc,
             iterations=len(io_log),
             oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
-            notes={"reason": "iteration budget exhausted"},
         )
 
     # final key: NC condition + IO history on a single copy
@@ -174,7 +188,15 @@ def cycsat_attack(
         for name, value in response.items():
             v = enc.var(name)
             final.add_clause([v] if value else [-v])
-    res = final.solve()
+    try:
+        res = final.solve(budget=budget)
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "cycsat",
+            exc,
+            iterations=len(io_log),
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        )
     key = (
         {name: int(res.model[v]) for name, v in kv.items()}
         if res.sat

@@ -21,11 +21,12 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..netlist import Netlist
+from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import Solver
 from ..synth.aig import FALSE_LIT, lit_not
 from .encoding import AIGEncoder
 from .oracle import Oracle
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 from .satattack import extract_consistent_key
 
 
@@ -33,6 +34,7 @@ from .satattack import extract_consistent_key
 class DoubleDIPConfig:
     """Knobs for :func:`doubledip_attack`."""
     max_iterations: int = 128
+    budget: Budget | None = None
 
 
 def doubledip_attack(
@@ -87,31 +89,46 @@ def doubledip_attack(
             for o in locked.outputs:
                 enc.assert_equals(outs_c[o], response[o])
 
-    while True:
-        if len(io_log) >= config.max_iterations:
-            gave_up = True
-            break
-        res = solver.solve(assumptions=[strong])
-        used_strong = res.sat
-        if not res.sat:
-            res = solver.solve(assumptions=[weak])
-            if not res.sat:
+    budget = config.budget
+    try:
+        while True:
+            if budget is not None:
+                budget.check_deadline()
+            if len(io_log) >= config.max_iterations:
+                gave_up = True
                 break
-        assert res.model is not None
-        dip = {
-            name: int(res.model[enc.pi_var(lit)])
-            for name, lit in x_lits.items()
-        }
-        raw = oracle.query(dip)
-        response = {o: int(bool(raw[o])) for o in locked.outputs}
-        io_log.append((dip, response))
-        add_io_constraint(dip, response)
-        if used_strong:
-            two_dips += 1
-        else:
-            one_dips += 1
+            res = solver.solve(assumptions=[strong], budget=budget)
+            used_strong = res.sat
+            if not res.sat:
+                res = solver.solve(assumptions=[weak], budget=budget)
+                if not res.sat:
+                    break
+            assert res.model is not None
+            dip = {
+                name: int(res.model[enc.pi_var(lit)])
+                for name, lit in x_lits.items()
+            }
+            raw = oracle.query(dip)
+            response = {o: int(bool(raw[o])) for o in locked.outputs}
+            io_log.append((dip, response))
+            add_io_constraint(dip, response)
+            if used_strong:
+                two_dips += 1
+            else:
+                one_dips += 1
 
-    key = None if gave_up else extract_consistent_key(locked, key_inputs, io_log)
+        key = (
+            None
+            if gave_up
+            else extract_consistent_key(locked, key_inputs, io_log, budget=budget)
+        )
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "doubledip",
+            exc,
+            iterations=len(io_log),
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        )
     return AttackResult(
         attack="doubledip",
         recovered_key=key,

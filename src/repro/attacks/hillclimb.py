@@ -19,9 +19,10 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..netlist import Netlist
+from ..runtime.budget import Budget, ResourceExhausted
 from ..sim import BitSimulator, broadcast_constant, pack_patterns, popcount_words, tail_mask
 from .oracle import Oracle
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 
 
 @dataclass
@@ -34,6 +35,7 @@ class HillClimbConfig:
     #: control gates (WLL) create single-flip plateaus
     pair_flips: bool = True
     seed: int = 0
+    budget: Budget | None = None
 
 
 def hill_climb_attack(
@@ -56,13 +58,26 @@ def hill_climb_attack(
     data_inputs = [i for i in locked.inputs if i not in key_set]
     start_queries = getattr(oracle, "n_queries", 0)
 
+    budget = config.budget
+
     # gather the evaluation pattern set
     if test_set is None:
         pairs: list[tuple[dict[str, int], dict[str, int]]] = []
-        for _ in range(config.n_patterns):
-            pattern = {i: rng.randrange(2) for i in data_inputs}
-            raw = oracle.query(pattern)
-            pairs.append((pattern, {o: int(bool(raw[o])) for o in locked.outputs}))
+        try:
+            for _ in range(config.n_patterns):
+                if budget is not None:
+                    budget.check_deadline()
+                pattern = {i: rng.randrange(2) for i in data_inputs}
+                raw = oracle.query(pattern)
+                pairs.append(
+                    (pattern, {o: int(bool(raw[o])) for o in locked.outputs})
+                )
+        except ResourceExhausted as exc:
+            return exhausted_result(
+                "hillclimb",
+                exc,
+                oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+            )
     else:
         pairs = [
             (
@@ -85,6 +100,8 @@ def hill_climb_attack(
     nw = data_words.shape[1]
 
     def mismatches(key_vec: list[int]) -> int:
+        if budget is not None:
+            budget.charge_patterns(n_pat)
         in_words = {name: data_words[i] for i, name in enumerate(data_inputs)}
         for k, b in zip(key_inputs, key_vec):
             in_words[k] = broadcast_constant(b, nw)
@@ -96,50 +113,60 @@ def hill_climb_attack(
     best_key: list[int] | None = None
     best_cost = None
     flips_used = 0
-    for restart in range(config.restarts):
-        key = [rng.randrange(2) for _ in key_inputs]
-        cost = mismatches(key)
-        improved = True
-        while improved and flips_used < config.max_flips:
-            improved = False
-            order = list(range(len(key_inputs)))
-            rng.shuffle(order)
-            for bit in order:
-                if flips_used >= config.max_flips:
-                    break
-                key[bit] ^= 1
-                flips_used += 1
-                new_cost = mismatches(key)
-                if new_cost < cost:
-                    cost = new_cost
-                    improved = True
-                else:
+    try:
+        for restart in range(config.restarts):
+            key = [rng.randrange(2) for _ in key_inputs]
+            cost = mismatches(key)
+            improved = True
+            while improved and flips_used < config.max_flips:
+                improved = False
+                order = list(range(len(key_inputs)))
+                rng.shuffle(order)
+                for bit in order:
+                    if flips_used >= config.max_flips:
+                        break
                     key[bit] ^= 1
-            if improved or not config.pair_flips or cost == 0:
-                continue
-            # plateau: probe two-bit moves (escapes multi-input control
-            # gates whose output only changes when several bits move)
-            n = len(key_inputs)
-            pair_order = [(i, j) for i in range(n) for j in range(i + 1, n)]
-            rng.shuffle(pair_order)
-            for i, j in pair_order:
-                if flips_used >= config.max_flips:
-                    break
-                key[i] ^= 1
-                key[j] ^= 1
-                flips_used += 1
-                new_cost = mismatches(key)
-                if new_cost < cost:
-                    cost = new_cost
-                    improved = True
-                    break
-                key[i] ^= 1
-                key[j] ^= 1
-        if best_cost is None or cost < best_cost:
-            best_cost = cost
-            best_key = list(key)
-        if best_cost == 0:
-            break
+                    flips_used += 1
+                    new_cost = mismatches(key)
+                    if new_cost < cost:
+                        cost = new_cost
+                        improved = True
+                    else:
+                        key[bit] ^= 1
+                if improved or not config.pair_flips or cost == 0:
+                    continue
+                # plateau: probe two-bit moves (escapes multi-input control
+                # gates whose output only changes when several bits move)
+                n = len(key_inputs)
+                pair_order = [(i, j) for i in range(n) for j in range(i + 1, n)]
+                rng.shuffle(pair_order)
+                for i, j in pair_order:
+                    if flips_used >= config.max_flips:
+                        break
+                    key[i] ^= 1
+                    key[j] ^= 1
+                    flips_used += 1
+                    new_cost = mismatches(key)
+                    if new_cost < cost:
+                        cost = new_cost
+                        improved = True
+                        break
+                    key[i] ^= 1
+                    key[j] ^= 1
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_key = list(key)
+            if best_cost == 0:
+                break
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "hillclimb",
+            exc,
+            iterations=flips_used,
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries
+            if test_set is None
+            else 0,
+        )
 
     recovered = (
         {k: b for k, b in zip(key_inputs, best_key)} if best_key is not None else None

@@ -22,6 +22,7 @@ from typing import Mapping, Protocol
 
 from ..netlist import Netlist
 from ..orap.chip import ProtectedChip
+from ..runtime.budget import BudgetExhausted
 
 
 class Oracle(Protocol):
@@ -117,5 +118,10 @@ class CountingOracle:
         return self.inner.query(assignment)
 
 
-class OracleBudgetExceeded(RuntimeError):
-    """An attack hit its oracle-access budget."""
+class OracleBudgetExceeded(BudgetExhausted):
+    """An attack hit its oracle-access budget.
+
+    Subclasses :class:`repro.runtime.BudgetExhausted` so the guarded
+    executor (:func:`repro.runtime.run_guarded`) classifies it as a
+    ``budget`` outcome alongside conflict/backtrack/pattern caps.
+    """

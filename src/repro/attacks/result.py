@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..locking import LockedCircuit
+from ..runtime.budget import ResourceExhausted
 from ..sim import functional_match_fraction
 
 
@@ -22,6 +23,12 @@ class AttackResult:
             is exactly what happens against OraP).
         iterations: algorithm-specific iteration count (e.g. DIPs).
         oracle_queries: oracle transactions used.
+        status: how the run ended — ``"ok"`` (ran to its own termination
+            criterion), ``"timeout"`` (wall-clock deadline expired),
+            ``"budget"`` (a resource cap — conflicts, backtracks, oracle
+            queries — ran out), or ``"error"`` (unexpected exception,
+            captured by the guarded harness).  Non-``ok`` rows always have
+            ``completed=False``.
         notes: free-form diagnostics.
     """
 
@@ -30,7 +37,31 @@ class AttackResult:
     completed: bool
     iterations: int = 0
     oracle_queries: int = 0
+    status: str = "ok"
     notes: dict[str, object] = field(default_factory=dict)
+
+
+def exhausted_result(
+    attack: str,
+    exc: ResourceExhausted,
+    iterations: int = 0,
+    oracle_queries: int = 0,
+) -> AttackResult:
+    """Fold a resource-limit violation into a thwarted-attack row.
+
+    Every attack's main loop catches :class:`ResourceExhausted` and calls
+    this, so a deadline or cap violation surfaces as a ``timeout`` /
+    ``budget`` row in the experiment tables instead of an exception.
+    """
+    return AttackResult(
+        attack=attack,
+        recovered_key=None,
+        completed=False,
+        iterations=iterations,
+        oracle_queries=oracle_queries,
+        status=exc.kind,
+        notes={"reason": str(exc)},
+    )
 
 
 def key_is_correct(

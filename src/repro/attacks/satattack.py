@@ -29,11 +29,11 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..netlist import Netlist
+from ..runtime.budget import Budget, BudgetExhausted, ResourceExhausted
 from ..sat import Solver
-from ..sat.solver import BudgetExhausted
 from .encoding import AIGEncoder
 from .oracle import Oracle
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 
 
 @dataclass
@@ -43,10 +43,14 @@ class SATAttackConfig:
     Attributes:
         max_iterations: DIP budget before giving up (None = unlimited).
         conflict_budget: per-solve CDCL conflict cap (None = unlimited).
+        budget: shared :class:`~repro.runtime.Budget` bounding the whole
+            attack (all solves plus oracle traffic); violations become a
+            ``timeout``/``budget`` status row, never an exception.
     """
 
     max_iterations: int | None = 256
     conflict_budget: int | None = None
+    budget: Budget | None = None
 
 
 def sat_attack(
@@ -94,40 +98,57 @@ def sat_attack(
             for o in locked.outputs:
                 enc.assert_equals(outs[o], response[o])
 
-    while True:
-        if config.max_iterations is not None and len(io_log) >= config.max_iterations:
-            return AttackResult(
-                attack="sat",
-                recovered_key=None,
-                completed=False,
-                iterations=len(io_log),
-                oracle_queries=queries_used(),
-                notes={"reason": "iteration budget exhausted"},
-            )
-        try:
-            res = solver.solve(conflict_budget=config.conflict_budget)
-        except BudgetExhausted:
-            return AttackResult(
-                attack="sat",
-                recovered_key=None,
-                completed=False,
-                iterations=len(io_log),
-                oracle_queries=queries_used(),
-                notes={"reason": "conflict budget exhausted"},
-            )
-        if not res.sat:
-            break
-        assert res.model is not None
-        dip = {
-            name: int(res.model[enc.pi_var(lit)])
-            for name, lit in x_lits.items()
-        }
-        raw = oracle.query(dip)
-        response = {o: int(bool(raw[o])) for o in locked.outputs}
-        io_log.append((dip, response))
-        add_io_constraint(dip, response)
+    budget = config.budget
+    try:
+        while True:
+            if budget is not None:
+                budget.check_deadline()
+            if (
+                config.max_iterations is not None
+                and len(io_log) >= config.max_iterations
+            ):
+                return AttackResult(
+                    attack="sat",
+                    recovered_key=None,
+                    completed=False,
+                    iterations=len(io_log),
+                    oracle_queries=queries_used(),
+                    status="budget",
+                    notes={"reason": "iteration budget exhausted"},
+                )
+            try:
+                res = solver.solve(
+                    conflict_budget=config.conflict_budget, budget=budget
+                )
+            except BudgetExhausted:
+                if budget is not None and budget.exhausted():
+                    raise  # shared-budget violation: report via status row
+                return AttackResult(
+                    attack="sat",
+                    recovered_key=None,
+                    completed=False,
+                    iterations=len(io_log),
+                    oracle_queries=queries_used(),
+                    status="budget",
+                    notes={"reason": "conflict budget exhausted"},
+                )
+            if not res.sat:
+                break
+            assert res.model is not None
+            dip = {
+                name: int(res.model[enc.pi_var(lit)])
+                for name, lit in x_lits.items()
+            }
+            raw = oracle.query(dip)
+            response = {o: int(bool(raw[o])) for o in locked.outputs}
+            io_log.append((dip, response))
+            add_io_constraint(dip, response)
 
-    key = extract_consistent_key(locked, key_inputs, io_log)
+        key = extract_consistent_key(locked, key_inputs, io_log, budget=budget)
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "sat", exc, iterations=len(io_log), oracle_queries=queries_used()
+        )
     return AttackResult(
         attack="sat",
         recovered_key=key,
@@ -142,6 +163,7 @@ def extract_consistent_key(
     locked: Netlist,
     key_inputs: Sequence[str],
     io_log: Sequence[tuple[Mapping[str, int], Mapping[str, int]]],
+    budget: Budget | None = None,
 ) -> dict[str, int] | None:
     """Solve for a key consistent with every logged (input, output) pair.
 
@@ -155,7 +177,7 @@ def extract_consistent_key(
         outs = enc.encode_netlist(locked, dict(k_lits), const_inputs=dip)
         for o in locked.outputs:
             enc.assert_equals(outs[o], int(bool(response[o])))
-    res = solver.solve()
+    res = solver.solve(budget=budget)
     if not res.sat:
         return None
     assert res.model is not None

@@ -25,10 +25,11 @@ from typing import Sequence
 import numpy as np
 
 from ..netlist import Netlist
+from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import CNF, CircuitEncoder, Solver
 from ..sim import BitSimulator, broadcast_constant, pack_patterns
 from .oracle import Oracle
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 
 
 @dataclass
@@ -44,6 +45,7 @@ class SensitizationConfig:
     brute_force_patterns: int = 32
     verify_patterns: int = 16
     seed: int = 0
+    budget: Budget | None = None
 
 
 def _find_sensitizing_pattern(
@@ -53,6 +55,7 @@ def _find_sensitizing_pattern(
     target_bit: str,
     known: dict[str, int],
     forbidden: list[dict[str, int]],
+    budget: Budget | None = None,
 ) -> tuple[dict[str, int], dict[str, int]] | None:
     """Find (pattern, other_keys) flipping some output when target flips.
 
@@ -90,7 +93,7 @@ def _find_sensitizing_pattern(
         cnf.add_clause(
             [(-x_vars[i] if pat[i] else x_vars[i]) for i in data_inputs]
         )
-    res = Solver(cnf).solve()
+    res = Solver(cnf).solve(budget=budget)
     if not res.sat:
         return None
     assert res.model is not None
@@ -139,74 +142,95 @@ def sensitization_attack(
                     return False
         return True
 
-    for _ in range(config.max_rounds):
-        progress = False
-        for bit in key_inputs:
-            if bit in known:
-                continue
-            forbidden: list[dict[str, int]] = []
-            for _ in range(config.attempts_per_bit):
-                found = _find_sensitizing_pattern(
-                    locked, data_inputs, key_inputs, bit, known, forbidden
-                )
-                if found is None:
-                    break
-                pattern, others = found
-                attempts += 1
-                trial = {**known, **others}
-                out0 = simulate(pattern, {**trial, bit: 0})
-                out1 = simulate(pattern, {**trial, bit: 1})
-                sensitized = [o for o in locked.outputs if out0[o] != out1[o]]
-                if not is_golden(pattern, bit, others, sensitized, out0, out1):
-                    forbidden.append(pattern)
+    budget = config.budget
+    try:
+        for _ in range(config.max_rounds):
+            progress = False
+            for bit in key_inputs:
+                if bit in known:
                     continue
-                want = oracle.query(pattern)
-                want = {o: int(bool(want[o])) for o in locked.outputs}
-                m0 = all(out0[o] == want[o] for o in sensitized)
-                m1 = all(out1[o] == want[o] for o in sensitized)
-                if m0 != m1:  # exactly one hypothesis consistent
-                    known[bit] = 0 if m0 else 1
-                    progress = True
-                    break
-                forbidden.append(pattern)
-        if len(known) == len(key_inputs):
-            break
-        if not progress:
-            break
-
-    remaining = [k for k in key_inputs if k not in known]
-    brute_forced = False
-    if remaining and len(remaining) <= config.brute_force_limit:
-        # interfering bits resist isolation (pairwise-secured gates); the
-        # attacker falls back to exhausting the residual key space against
-        # a batch of oracle responses, bit-parallel
-        probes = []
-        for _ in range(config.brute_force_patterns):
-            pattern = {i: rng.randrange(2) for i in data_inputs}
-            raw = oracle.query(pattern)
-            probes.append(
-                (pattern, {o: int(bool(raw[o])) for o in locked.outputs})
-            )
-        match = _bruteforce_bits(
-            locked, data_inputs, known, remaining, probes
-        )
-        if match is not None:
-            known = match
-            brute_forced = True
-
-    complete = len(known) == len(key_inputs)
-    recovered = dict(known) if complete else None
-
-    # final verification: a completed attack must reproduce the oracle
-    if complete:
-        for _ in range(config.verify_patterns):
-            pattern = {i: rng.randrange(2) for i in data_inputs}
-            raw = oracle.query(pattern)
-            got = simulate(pattern, recovered)
-            if any(got[o] != int(bool(raw[o])) for o in locked.outputs):
-                complete = False
-                recovered = None
+                if budget is not None:
+                    budget.check_deadline()
+                forbidden: list[dict[str, int]] = []
+                for _ in range(config.attempts_per_bit):
+                    found = _find_sensitizing_pattern(
+                        locked,
+                        data_inputs,
+                        key_inputs,
+                        bit,
+                        known,
+                        forbidden,
+                        budget=budget,
+                    )
+                    if found is None:
+                        break
+                    pattern, others = found
+                    attempts += 1
+                    trial = {**known, **others}
+                    out0 = simulate(pattern, {**trial, bit: 0})
+                    out1 = simulate(pattern, {**trial, bit: 1})
+                    sensitized = [
+                        o for o in locked.outputs if out0[o] != out1[o]
+                    ]
+                    if not is_golden(
+                        pattern, bit, others, sensitized, out0, out1
+                    ):
+                        forbidden.append(pattern)
+                        continue
+                    want = oracle.query(pattern)
+                    want = {o: int(bool(want[o])) for o in locked.outputs}
+                    m0 = all(out0[o] == want[o] for o in sensitized)
+                    m1 = all(out1[o] == want[o] for o in sensitized)
+                    if m0 != m1:  # exactly one hypothesis consistent
+                        known[bit] = 0 if m0 else 1
+                        progress = True
+                        break
+                    forbidden.append(pattern)
+            if len(known) == len(key_inputs):
                 break
+            if not progress:
+                break
+
+        remaining = [k for k in key_inputs if k not in known]
+        brute_forced = False
+        if remaining and len(remaining) <= config.brute_force_limit:
+            # interfering bits resist isolation (pairwise-secured gates); the
+            # attacker falls back to exhausting the residual key space against
+            # a batch of oracle responses, bit-parallel
+            probes = []
+            for _ in range(config.brute_force_patterns):
+                pattern = {i: rng.randrange(2) for i in data_inputs}
+                raw = oracle.query(pattern)
+                probes.append(
+                    (pattern, {o: int(bool(raw[o])) for o in locked.outputs})
+                )
+            match = _bruteforce_bits(
+                locked, data_inputs, known, remaining, probes
+            )
+            if match is not None:
+                known = match
+                brute_forced = True
+
+        complete = len(known) == len(key_inputs)
+        recovered = dict(known) if complete else None
+
+        # final verification: a completed attack must reproduce the oracle
+        if complete:
+            for _ in range(config.verify_patterns):
+                pattern = {i: rng.randrange(2) for i in data_inputs}
+                raw = oracle.query(pattern)
+                got = simulate(pattern, recovered)
+                if any(got[o] != int(bool(raw[o])) for o in locked.outputs):
+                    complete = False
+                    recovered = None
+                    break
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "sensitization",
+            exc,
+            iterations=attempts,
+            oracle_queries=getattr(oracle, "n_queries", 0) - start_queries,
+        )
 
     return AttackResult(
         attack="sensitization",

@@ -27,10 +27,11 @@ from typing import Sequence
 
 from ..netlist import SequentialCircuit
 from ..orap.chip import ProtectedChip
+from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import Solver
 from ..synth.aig import FALSE_LIT
 from .encoding import AIGEncoder
-from .result import AttackResult
+from .result import AttackResult, exhausted_result
 
 
 class FunctionalOracle:
@@ -71,6 +72,7 @@ class SequentialSATConfig:
     verify_sequences: int = 8
     verify_length: int = 12
     seed: int = 0
+    budget: Budget | None = None
 
 
 def _unroll(
@@ -162,22 +164,33 @@ def sequential_sat_attack(
                 state = {name: outs[d] for name, d in d_of.items()}
 
     iterations = 0
-    while iterations < config.max_iterations:
-        res = solver.solve()
-        if not res.sat:
-            break
-        assert res.model is not None
-        sequence = [
-            {p: int(res.model[enc.pi_var(lit)]) for p, lit in frame.items()}
-            for frame in pi_frames
-        ]
-        trace = oracle.query_sequence(sequence)
-        trace = [
-            {o: int(bool(frame[o])) for o in pos} for frame in trace
-        ]
-        io_log.append((sequence, trace))
-        add_trace_constraint(sequence, trace)
-        iterations += 1
+    budget = config.budget
+    try:
+        while iterations < config.max_iterations:
+            if budget is not None:
+                budget.check_deadline()
+            res = solver.solve(budget=budget)
+            if not res.sat:
+                break
+            assert res.model is not None
+            sequence = [
+                {p: int(res.model[enc.pi_var(lit)]) for p, lit in frame.items()}
+                for frame in pi_frames
+            ]
+            trace = oracle.query_sequence(sequence)
+            trace = [
+                {o: int(bool(frame[o])) for o in pos} for frame in trace
+            ]
+            io_log.append((sequence, trace))
+            add_trace_constraint(sequence, trace)
+            iterations += 1
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "sequential_sat",
+            exc,
+            iterations=iterations,
+            oracle_queries=oracle.n_queries - start_queries,
+        )
 
     if iterations >= config.max_iterations:
         return AttackResult(
@@ -186,6 +199,7 @@ def sequential_sat_attack(
             completed=False,
             iterations=iterations,
             oracle_queries=oracle.n_queries - start_queries,
+            status="budget",
             notes={"reason": "DIS budget exhausted", "depth": config.depth},
         )
 
@@ -208,7 +222,15 @@ def sequential_sat_attack(
             for o in pos:
                 kenc.assert_equals(outs[o], po_vals[o])
             state = {name: outs[d] for name, d in d_of.items()}
-    res = key_solver.solve()
+    try:
+        res = key_solver.solve(budget=budget)
+    except ResourceExhausted as exc:
+        return exhausted_result(
+            "sequential_sat",
+            exc,
+            iterations=iterations,
+            oracle_queries=oracle.n_queries - start_queries,
+        )
     if not res.sat:
         return AttackResult(
             attack="sequential_sat",

@@ -2,6 +2,7 @@
 ablation sweeps called out in DESIGN.md."""
 
 from .common import DEFAULT_SCALE, PaperComparison, format_table
+from .runner import DEFAULT_CHECKPOINT_ROOT, ExperimentRunner, RunPolicy
 from .table1 import Table1Row, lock_for_table1, print_table1, run_table1
 from .table2 import Table2Row, print_table2, run_table2
 from .attack_matrix import (
@@ -28,6 +29,9 @@ from .hd_saturation import (
 
 __all__ = [
     "DEFAULT_SCALE",
+    "DEFAULT_CHECKPOINT_ROOT",
+    "ExperimentRunner",
+    "RunPolicy",
     "PaperComparison",
     "format_table",
     "Table1Row",

@@ -16,7 +16,8 @@ The paper's core security claims, turned into runnable checks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import asdict, dataclass
 
 from ..attacks import (
     AppSATConfig,
@@ -40,7 +41,9 @@ from ..attacks import (
 from ..bench import GeneratorConfig, SequentialConfig, generate_sequential
 from ..locking import WLLConfig
 from ..orap import OraPConfig, protect
+from ..runtime.budget import Budget
 from .common import format_table
+from .runner import ExperimentRunner, RunPolicy
 
 
 @dataclass
@@ -53,6 +56,8 @@ class MatrixCell:
     key_correct: bool
     iterations: int
     oracle_queries: int
+    #: how the attack's run ended: "ok", "timeout", "budget" or "error"
+    status: str = "ok"
 
 
 def default_design(seed: int = 7, variant: str = "basic"):
@@ -82,119 +87,168 @@ def run_attack_matrix(
     variant: str = "basic",
     seed: int = 7,
     max_iterations: int = 128,
+    attack_deadline_s: float | None = None,
+    design=None,
+    policy: RunPolicy | None = None,
 ) -> list[MatrixCell]:
-    """Run every oracle-based attack against both chip types."""
-    d = default_design(seed=seed, variant=variant)
+    """Run every oracle-based attack against both chip types.
+
+    Args:
+        attack_deadline_s: wall-clock allowance per attack; expired
+            attacks show as ``timeout`` rows (shorthand for a ``policy``
+            with ``row_deadline_s`` set).
+        design: pre-built protected design (tests inject tiny ones);
+            defaults to :func:`default_design`.
+        policy: full per-row execution policy (deadlines, retries,
+            checkpoint/resume).
+    """
+    policy = policy or RunPolicy()
+    if attack_deadline_s is not None:
+        policy = dataclasses.replace(policy, row_deadline_s=attack_deadline_s)
+    d = design if design is not None else default_design(seed=seed, variant=variant)
     locked = d.locked
     target = locked.locked
+    runner = ExperimentRunner(
+        "attack_matrix",
+        policy,
+        fingerprint={
+            "variant": variant,
+            "seed": seed,
+            "max_iterations": max_iterations,
+            "deadline_s": policy.row_deadline_s,
+        },
+    )
     cells: list[MatrixCell] = []
 
     def attack_suite(oracle):
         return [
             (
                 "sat",
-                lambda: sat_attack(
+                lambda budget=None: sat_attack(
                     target,
                     locked.key_inputs,
                     oracle,
-                    SATAttackConfig(max_iterations=max_iterations),
+                    SATAttackConfig(
+                        max_iterations=max_iterations, budget=budget
+                    ),
                 ),
             ),
             (
                 "appsat",
-                lambda: appsat_attack(
+                lambda budget=None: appsat_attack(
                     target,
                     locked.key_inputs,
                     oracle,
-                    AppSATConfig(max_iterations=max_iterations),
+                    AppSATConfig(max_iterations=max_iterations, budget=budget),
                 ),
             ),
             (
                 "doubledip",
-                lambda: doubledip_attack(
+                lambda budget=None: doubledip_attack(
                     target,
                     locked.key_inputs,
                     oracle,
-                    DoubleDIPConfig(max_iterations=max_iterations),
+                    DoubleDIPConfig(
+                        max_iterations=max_iterations, budget=budget
+                    ),
                 ),
             ),
             (
                 "hillclimb",
-                lambda: hill_climb_attack(
+                lambda budget=None: hill_climb_attack(
                     target,
                     locked.key_inputs,
                     oracle,
-                    HillClimbConfig(n_patterns=128, restarts=16),
+                    HillClimbConfig(n_patterns=128, restarts=16, budget=budget),
                 ),
             ),
             (
                 "sensitization",
-                lambda: sensitization_attack(
+                lambda budget=None: sensitization_attack(
                     target,
                     locked.key_inputs,
                     oracle,
-                    SensitizationConfig(),
+                    SensitizationConfig(budget=budget),
                 ),
             ),
         ]
+
+    def run_cell(key, attack_name, chip_kind, run, correct_of):
+        """One guarded (attack, chip) cell; appends a row no matter what."""
+
+        def compute(budget: Budget | None = None) -> MatrixCell:
+            result = run(budget=budget)
+            return MatrixCell(
+                attack=attack_name,
+                chip=chip_kind,
+                completed=result.completed,
+                key_correct=correct_of(result),
+                iterations=result.iterations,
+                oracle_queries=result.oracle_queries,
+                status=result.status,
+            )
+
+        outcome = runner.run_row(
+            key, compute, encode=asdict, decode=lambda p: MatrixCell(**p)
+        )
+        if outcome.value is not None:
+            cells.append(outcome.value)
+        else:
+            # the guarded executor caught what the attack did not
+            cells.append(
+                MatrixCell(
+                    attack=attack_name,
+                    chip=chip_kind,
+                    completed=False,
+                    key_correct=False,
+                    iterations=0,
+                    oracle_queries=0,
+                    status=outcome.status.value,
+                )
+            )
+
+    def key_correct_of(result):
+        return key_is_correct(locked, result.recovered_key)
+
+    def netlist_correct_of(result):
+        return netlist_is_correct(locked, result.notes.get("netlist"))
 
     for chip_kind in ("conventional", "orap"):
         chip = d.baseline_chip() if chip_kind == "conventional" else d.build_chip()
         chip.reset()
         chip.unlock()
         for name, run in attack_suite(ScanOracle(chip)):
-            result = run()
-            cells.append(
-                MatrixCell(
-                    attack=name,
-                    chip=chip_kind,
-                    completed=result.completed,
-                    key_correct=key_is_correct(locked, result.recovered_key),
-                    iterations=result.iterations,
-                    oracle_queries=result.oracle_queries,
-                )
-            )
+            run_cell(f"{chip_kind}-{name}", name, chip_kind, run, key_correct_of)
 
     # oracle-less structural attacks on the OraP+WLL netlist
-    r = sps_attack(target, locked.key_inputs)
-    cells.append(
-        MatrixCell(
-            attack="sps",
-            chip="orap",
-            completed=r.completed,
-            key_correct=netlist_is_correct(locked, r.notes.get("netlist")),
-            iterations=0,
-            oracle_queries=0,
-        )
+    run_cell(
+        "orap-sps",
+        "sps",
+        "orap",
+        lambda budget=None: sps_attack(target, locked.key_inputs),
+        netlist_correct_of,
     )
-    r = removal_attack(target, locked.key_inputs)
-    cells.append(
-        MatrixCell(
-            attack="removal",
-            chip="orap",
-            completed=r.completed,
-            key_correct=netlist_is_correct(locked, r.notes.get("netlist")),
-            iterations=0,
-            oracle_queries=0,
-        )
+    run_cell(
+        "orap-removal",
+        "removal",
+        "orap",
+        lambda budget=None: removal_attack(target, locked.key_inputs),
+        netlist_correct_of,
     )
     # bypass needs the oracle and low corruptibility; run against the
     # conventional chip so its failure is attributable to WLL, not OraP
     base = d.baseline_chip()
     base.reset()
     base.unlock()
-    r = bypass_attack(
-        target, locked.key_inputs, ScanOracle(base), BypassConfig()
-    )
-    cells.append(
-        MatrixCell(
-            attack="bypass",
-            chip="conventional",
-            completed=r.completed,
-            key_correct=netlist_is_correct(locked, r.notes.get("netlist")),
-            iterations=r.iterations,
-            oracle_queries=r.oracle_queries,
-        )
+    base_oracle = ScanOracle(base)
+    run_cell(
+        "conventional-bypass",
+        "bypass",
+        "conventional",
+        lambda budget=None: bypass_attack(
+            target, locked.key_inputs, base_oracle, BypassConfig(budget=budget)
+        ),
+        netlist_correct_of,
     )
     return cells
 
@@ -202,9 +256,25 @@ def run_attack_matrix(
 def print_attack_matrix(cells: list[MatrixCell]) -> str:
     """Print the attack matrix; returns the text."""
     text = format_table(
-        ["Attack", "Chip", "Completed", "Key/netlist correct", "Iters", "Queries"],
         [
-            (c.attack, c.chip, c.completed, c.key_correct, c.iterations, c.oracle_queries)
+            "Attack",
+            "Chip",
+            "Completed",
+            "Key/netlist correct",
+            "Iters",
+            "Queries",
+            "Status",
+        ],
+        [
+            (
+                c.attack,
+                c.chip,
+                c.completed,
+                c.key_correct,
+                c.iterations,
+                c.oracle_queries,
+                c.status,
+            )
             for c in cells
         ],
         title="Attack matrix — oracle-based attacks vs conventional and OraP chips",

@@ -18,12 +18,13 @@ Turns the paper's protocol description into measured pass/fail checks:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..orap import OraPDesign
 from ..threats import execute_freeze_attack
 from .attack_matrix import default_design
 from .common import format_table
+from .runner import ExperimentRunner, RunPolicy
 
 
 @dataclass
@@ -43,8 +44,29 @@ def _truth(design: OraPDesign, pi, state):
     return design.design.core.evaluate(assignment)
 
 
-def run_protocol_checks(variant: str = "basic", seed: int = 5) -> list[ProtocolCheck]:
-    """Execute the six Figs. 1-3 protocol checks for a variant."""
+def run_protocol_checks(
+    variant: str = "basic",
+    seed: int = 5,
+    policy: RunPolicy | None = None,
+) -> list[ProtocolCheck]:
+    """Execute the six Figs. 1-3 protocol checks for a variant.
+
+    The whole check sequence is one guarded checkpoint row (the checks
+    share chip state and take milliseconds; splitting them buys nothing).
+    """
+    runner = ExperimentRunner(
+        "protocol", policy, fingerprint={"seed": seed}
+    )
+    outcome = runner.run_row(
+        variant,
+        lambda budget=None: _run_checks(variant, seed),
+        encode=lambda checks: {"checks": [asdict(c) for c in checks]},
+        decode=lambda p: [ProtocolCheck(**c) for c in p["checks"]],
+    )
+    return outcome.value if outcome.value is not None else []
+
+
+def _run_checks(variant: str, seed: int) -> list[ProtocolCheck]:
     rng = random.Random(seed)
     design = default_design(seed=7, variant=variant)
     checks: list[ProtocolCheck] = []

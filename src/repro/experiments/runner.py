@@ -1,0 +1,186 @@
+"""Crash-safe, resource-governed execution of experiment campaigns.
+
+Every paper artifact (E1–E5) is a loop over independent rows — one
+benchmark circuit, one (attack, chip) cell, one threat scenario.  This
+module gives those loops a shared execution discipline:
+
+* each row runs under :func:`repro.runtime.run_with_retry` with an
+  optional per-row :class:`~repro.runtime.Budget` (wall-clock deadline
+  plus resource caps), so a hung solve becomes a ``timeout`` row instead
+  of a hung campaign;
+* each finished row is written to a :class:`~repro.runtime.CheckpointStore`
+  atomically (temp file + rename) so a crash — including a kill between
+  rows — loses at most the row in flight;
+* ``resume=True`` reuses checkpointed rows whose parameter fingerprint
+  matches, recomputing only ``error`` rows (a timeout or budget verdict
+  is a deliberate outcome and is kept).
+
+The fault-injection site ``experiment.row`` fires *before* a row's
+guarded region, so an injected crash kills the campaign exactly the way
+a power cut would — after the previous row's checkpoint hit the disk and
+before the current row produced anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from ..runtime import faultinject
+from ..runtime.budget import Budget
+from ..runtime.checkpoint import CheckpointStore
+from ..runtime.outcome import RunOutcome, RunStatus, run_with_retry
+
+#: default location for experiment checkpoints, relative to the CWD
+DEFAULT_CHECKPOINT_ROOT = ".repro-checkpoints"
+
+#: checkpoint statuses that are reused on resume; ``error`` rows are
+#: always recomputed (that is what the retry policy exists for)
+_REUSABLE = frozenset({"ok", "timeout", "budget"})
+
+
+@dataclass
+class RunPolicy:
+    """Execution policy shared by every row of one campaign.
+
+    Attributes:
+        checkpoint_dir: root directory for per-row checkpoints (None
+            disables checkpointing entirely).
+        resume: reuse checkpointed rows with a matching fingerprint.
+        row_deadline_s: wall-clock allowance per row (None = unlimited).
+        max_conflicts / max_backtracks / max_patterns: per-row resource
+            caps threaded into the row's :class:`Budget`.
+        retries: extra attempts for rows that end in ``error``.
+        backoff_s: base of the deterministic retry backoff.
+    """
+
+    checkpoint_dir: str | Path | None = None
+    resume: bool = False
+    row_deadline_s: float | None = None
+    max_conflicts: int | None = None
+    max_backtracks: int | None = None
+    max_patterns: int | None = None
+    retries: int = 0
+    backoff_s: float = 0.0
+
+    def budget_factory(self) -> Callable[[], Budget | None] | None:
+        """Factory for fresh per-attempt budgets (None when unlimited)."""
+        if (
+            self.row_deadline_s is None
+            and self.max_conflicts is None
+            and self.max_backtracks is None
+            and self.max_patterns is None
+        ):
+            return None
+        return lambda: Budget(
+            wall_s=self.row_deadline_s,
+            max_conflicts=self.max_conflicts,
+            max_backtracks=self.max_backtracks,
+            max_patterns=self.max_patterns,
+        )
+
+
+class ExperimentRunner:
+    """Runs one campaign's rows under a :class:`RunPolicy`.
+
+    Args:
+        experiment: campaign name (checkpoint subdirectory).
+        policy: execution policy; a default (no checkpoints, no limits)
+            is used when omitted.
+        fingerprint: JSON-able dict of every parameter that affects row
+            values (scale, seeds, pattern counts...).  A checkpointed row
+            is only reused when its stored fingerprint matches exactly —
+            resuming with changed parameters silently recomputes.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        policy: RunPolicy | None = None,
+        fingerprint: dict[str, Any] | None = None,
+    ) -> None:
+        self.experiment = experiment
+        self.policy = policy or RunPolicy()
+        self.fingerprint = fingerprint or {}
+        self.store: CheckpointStore | None = None
+        if self.policy.checkpoint_dir is not None:
+            self.store = CheckpointStore(
+                self.policy.checkpoint_dir, experiment
+            )
+        self.rows_reused = 0
+        self.rows_computed = 0
+
+    # ------------------------------------------------------------------ #
+
+    def run_row(
+        self,
+        key: str,
+        compute: Callable[..., Any],
+        encode: Callable[[Any], dict] | None = None,
+        decode: Callable[[dict], Any] | None = None,
+    ) -> RunOutcome:
+        """Run (or reuse) one row; returns its :class:`RunOutcome`.
+
+        ``compute`` must accept a ``budget`` keyword when the policy sets
+        any per-row limit.  ``encode``/``decode`` convert the row value
+        to/from a JSON-able dict for checkpointing; without them the raw
+        value is stored (it must then be JSON-able itself).
+        """
+        if faultinject.enabled:
+            # deliberately outside the guarded region: an injected crash
+            # here kills the campaign like a power cut between rows
+            faultinject.fire("experiment.row")
+
+        if self.store is not None and self.policy.resume:
+            cached = self._load_cached(key, decode)
+            if cached is not None:
+                self.rows_reused += 1
+                return cached
+
+        outcome = run_with_retry(
+            compute,
+            budget_factory=self.policy.budget_factory(),
+            retries=self.policy.retries,
+            backoff_s=self.policy.backoff_s,
+        )
+        self.rows_computed += 1
+        if self.store is not None:
+            value = outcome.value
+            self.store.save(
+                key,
+                {
+                    "fingerprint": self.fingerprint,
+                    "status": outcome.status.value,
+                    "row": encode(value)
+                    if (encode is not None and value is not None)
+                    else value,
+                    "elapsed_s": round(outcome.elapsed_s, 6),
+                    "attempts": outcome.attempts,
+                    "error": outcome.error,
+                },
+            )
+        return outcome
+
+    def _load_cached(
+        self, key: str, decode: Callable[[dict], Any] | None
+    ) -> RunOutcome | None:
+        assert self.store is not None
+        payload = self.store.load(key)
+        if payload is None:
+            return None
+        if payload.get("fingerprint") != self.fingerprint:
+            return None
+        status = payload.get("status")
+        if status not in _REUSABLE:
+            return None
+        raw = payload.get("row")
+        value = decode(raw) if (decode is not None and raw is not None) else raw
+        return RunOutcome(
+            status=RunStatus(status),
+            value=value,
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            error=payload.get("error"),
+            attempts=int(payload.get("attempts", 1)),
+            diagnostics={"cached": True},
+        )

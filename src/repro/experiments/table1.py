@@ -20,14 +20,16 @@ Methodology notes mirrored from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
 from ..locking import WLLConfig, lock_weighted
 from ..orap import LFSRConfig
+from ..runtime.budget import Budget
 from ..sim import measure_corruption
 from ..synth import measure_overhead
 from .common import DEFAULT_SCALE, format_table
+from .runner import ExperimentRunner, RunPolicy
 
 
 @dataclass
@@ -57,13 +59,21 @@ def lock_for_table1(
     n_patterns: int = 4096,
     n_keys: int = 8,
     rng: int = 0,
+    budget: Budget | None = None,
 ):
     """Apply WLL, growing the key-gate count until HD hits the target or
-    saturates.  Returns ``(locked, corruption_report, n_key_gates)``."""
+    saturates.  Returns ``(locked, corruption_report, n_key_gates)``.
+
+    ``budget`` (if given) is polled for its wall-clock deadline once per
+    doubling step — each step simulates ``n_patterns * n_keys`` patterns,
+    the natural checkpoint of this loop.
+    """
     n_gates = max(1, key_width // control_inputs)
     best = None
     prev_hd = -1e9
     while True:
+        if budget is not None:
+            budget.check_deadline()
         cfg = WLLConfig(
             key_width=key_width,
             control_width=control_inputs,
@@ -97,25 +107,45 @@ def run_table1(
     n_patterns: int = 4096,
     n_keys: int = 8,
     seed: int = 0,
+    policy: RunPolicy | None = None,
 ) -> list[Table1Row]:
-    """Measure Table I rows on the scaled stand-in circuits."""
+    """Measure Table I rows on the scaled stand-in circuits.
+
+    ``policy`` governs per-row deadlines, retries and checkpoint/resume;
+    rows that end in ``timeout``/``budget``/``error`` are dropped from
+    the table (their verdicts live in the checkpoint store).
+    """
+    runner = ExperimentRunner(
+        "table1",
+        policy,
+        fingerprint={
+            "scale": scale,
+            "n_patterns": n_patterns,
+            "n_keys": n_keys,
+            "seed": seed,
+        },
+    )
     rows: list[Table1Row] = []
     for name in circuits or PAPER_ORDER:
-        spec = PAPER_CIRCUITS[name]
-        netlist = build_paper_circuit(name, scale=scale)
-        key_width = scaled_key_size(name, scale)
-        locked, report, n_key_gates = lock_for_table1(
-            netlist,
-            key_width,
-            spec.control_inputs,
-            n_patterns=n_patterns,
-            n_keys=n_keys,
-            rng=seed,
-        )
-        lfsr_cfg = LFSRConfig(size=key_width)
-        overhead = measure_overhead(locked.original, locked.locked, lfsr_cfg)
-        rows.append(
-            Table1Row(
+
+        def compute(name=name, budget: Budget | None = None) -> Table1Row:
+            spec = PAPER_CIRCUITS[name]
+            netlist = build_paper_circuit(name, scale=scale)
+            key_width = scaled_key_size(name, scale)
+            locked, report, n_key_gates = lock_for_table1(
+                netlist,
+                key_width,
+                spec.control_inputs,
+                n_patterns=n_patterns,
+                n_keys=n_keys,
+                rng=seed,
+                budget=budget,
+            )
+            lfsr_cfg = LFSRConfig(size=key_width)
+            overhead = measure_overhead(
+                locked.original, locked.locked, lfsr_cfg
+            )
+            return Table1Row(
                 circuit=name,
                 n_gates=netlist.num_gates(count_inverters=False),
                 n_outputs=len(netlist.outputs),
@@ -129,7 +159,12 @@ def run_table1(
                 paper_area=spec.area_overhead_percent,
                 paper_delay=spec.delay_overhead_percent,
             )
+
+        outcome = runner.run_row(
+            name, compute, encode=asdict, decode=lambda d: Table1Row(**d)
         )
+        if outcome.value is not None:
+            rows.append(outcome.value)
     return rows
 
 

@@ -13,12 +13,14 @@ deterministic high-effort generation for the survivors (Atalanta's role).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..atpg import run_atpg
 from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
 from ..locking import WLLConfig, lock_weighted
+from ..runtime.budget import Budget
 from .common import DEFAULT_SCALE, format_table
+from .runner import ExperimentRunner, RunPolicy
 
 
 @dataclass
@@ -41,30 +43,52 @@ def run_table2(
     circuits: list[str] | None = None,
     n_random_patterns: int = 1024,
     seed: int = 0,
+    policy: RunPolicy | None = None,
 ) -> list[Table2Row]:
-    """Measure Table II rows on the scaled stand-in circuits."""
+    """Measure Table II rows on the scaled stand-in circuits.
+
+    ``policy`` governs per-row deadlines, retries and checkpoint/resume.
+    The per-row budget is threaded through both ATPG runs (fault-sim
+    pattern charges, PODEM backtracks, SAT-arbiter conflicts).
+    """
+    runner = ExperimentRunner(
+        "table2",
+        policy,
+        fingerprint={
+            "scale": scale,
+            "n_random_patterns": n_random_patterns,
+            "seed": seed,
+        },
+    )
     rows: list[Table2Row] = []
     for name in circuits or PAPER_ORDER:
-        spec = PAPER_CIRCUITS[name]
-        netlist = build_paper_circuit(name, scale=scale)
-        key_width = scaled_key_size(name, scale)
-        locked = lock_weighted(
-            netlist,
-            WLLConfig(
-                key_width=key_width,
-                control_width=spec.control_inputs,
-                n_key_gates=max(1, key_width // spec.control_inputs),
-            ),
-            rng=seed,
-        )
-        rep_orig = run_atpg(
-            netlist, n_random_patterns=n_random_patterns, seed=seed
-        )
-        rep_prot = run_atpg(
-            locked.locked, n_random_patterns=n_random_patterns, seed=seed
-        )
-        rows.append(
-            Table2Row(
+
+        def compute(name=name, budget: Budget | None = None) -> Table2Row:
+            spec = PAPER_CIRCUITS[name]
+            netlist = build_paper_circuit(name, scale=scale)
+            key_width = scaled_key_size(name, scale)
+            locked = lock_weighted(
+                netlist,
+                WLLConfig(
+                    key_width=key_width,
+                    control_width=spec.control_inputs,
+                    n_key_gates=max(1, key_width // spec.control_inputs),
+                ),
+                rng=seed,
+            )
+            rep_orig = run_atpg(
+                netlist,
+                n_random_patterns=n_random_patterns,
+                seed=seed,
+                budget=budget,
+            )
+            rep_prot = run_atpg(
+                locked.locked,
+                n_random_patterns=n_random_patterns,
+                seed=seed,
+                budget=budget,
+            )
+            return Table2Row(
                 circuit=name,
                 fc_original=rep_orig.fault_coverage_percent,
                 red_abrt_original=rep_orig.redundant_plus_aborted,
@@ -75,7 +99,12 @@ def run_table2(
                 paper_fc_protected=spec.fc_protected,
                 paper_red_abrt_protected=spec.red_abrt_protected,
             )
+
+        outcome = runner.run_row(
+            name, compute, encode=asdict, decode=lambda d: Table2Row(**d)
         )
+        if outcome.value is not None:
+            rows.append(outcome.value)
     return rows
 
 

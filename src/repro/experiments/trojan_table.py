@@ -9,11 +9,12 @@ reference key register is included alongside the scaled design so the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..threats import GE_NAND2_TO_NAND3, ThreatReport, ge, run_all_threats
 from .attack_matrix import default_design
 from .common import format_table
+from .runner import ExperimentRunner, RunPolicy
 
 
 @dataclass
@@ -40,25 +41,36 @@ def paper_reference_payloads(key_width: int = 128) -> dict[str, float]:
     }
 
 
-def run_trojan_table(seed: int = 7, n_segments: int = 8) -> list[TrojanRow]:
+def run_trojan_table(
+    seed: int = 7,
+    n_segments: int = 8,
+    policy: RunPolicy | None = None,
+) -> list[TrojanRow]:
     """Scenarios (a)-(e) per variant, with side-channel detectability.
 
     Detectability uses the ref.-[25] model on the locked core: the
     countermeasure argument is that effective Trojans carry payloads big
     enough to stand out of the process-variation noise of a partitioned
-    power measurement.
+    power measurement.  Each variant's scenario sweep is one guarded
+    checkpoint row.
     """
     from ..threats import trojan_detectability
 
-    rows: list[TrojanRow] = []
-    for variant in ("basic", "modified"):
+    runner = ExperimentRunner(
+        "trojans",
+        policy,
+        fingerprint={"seed": seed, "n_segments": n_segments},
+    )
+
+    def compute(variant: str, budget=None) -> list[TrojanRow]:
         design = default_design(seed=seed, variant=variant)
         host = design.locked.locked
+        out: list[TrojanRow] = []
         for rep in run_all_threats(design):
             det = trojan_detectability(
                 host, rep.payload_ge, n_segments=n_segments
             )
-            rows.append(
+            out.append(
                 TrojanRow(
                     variant=variant,
                     scenario=rep.scenario,
@@ -71,6 +83,18 @@ def run_trojan_table(seed: int = 7, n_segments: int = 8) -> list[TrojanRow]:
                     detectable=det.detectable,
                 )
             )
+        return out
+
+    rows: list[TrojanRow] = []
+    for variant in ("basic", "modified"):
+        outcome = runner.run_row(
+            variant,
+            lambda variant=variant, budget=None: compute(variant),
+            encode=lambda rs: {"rows": [asdict(r) for r in rs]},
+            decode=lambda p: [TrojanRow(**r) for r in p["rows"]],
+        )
+        if outcome.value is not None:
+            rows.extend(outcome.value)
     return rows
 
 

@@ -11,6 +11,7 @@ from .gates import (
 from .netlist import Netlist, NetlistError
 from .sequential import FlipFlop, ScanChain, SequentialCircuit
 from .bench_io import (
+    NetlistFormatError,
     load_bench,
     parse_bench,
     parse_bench_combinational,
@@ -36,6 +37,7 @@ __all__ = [
     "GateType",
     "Netlist",
     "NetlistError",
+    "NetlistFormatError",
     "FlipFlop",
     "ScanChain",
     "SequentialCircuit",

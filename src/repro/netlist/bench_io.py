@@ -29,63 +29,148 @@ _LINE_RE = re.compile(
 _IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[\w.\[\]$/]+)\)\s*$")
 
 
-def parse_bench(text: str, name: str = "bench") -> SequentialCircuit:
+class NetlistFormatError(NetlistError):
+    """A malformed BENCH file, reported with file/line context.
+
+    Subclasses :class:`NetlistError` so existing ``except NetlistError``
+    handlers keep working.  Attributes:
+
+    * ``source`` — filename (or label) of the text being parsed;
+    * ``line_no`` — 1-based line number of the offending line, ``0`` when
+      the problem spans the whole file (e.g. an undeclared output);
+    * ``line`` — the offending source line, stripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str = "<string>",
+        line_no: int = 0,
+        line: str = "",
+    ) -> None:
+        prefix = f"{source}:{line_no}: " if line_no else f"{source}: "
+        super().__init__(prefix + message)
+        self.source = source
+        self.line_no = line_no
+        self.line = line
+
+
+def parse_bench(
+    text: str, name: str = "bench", source: str | None = None
+) -> SequentialCircuit:
     """Parse BENCH text into a sequential circuit (flop list may be empty).
 
     For a purely combinational file the result has no flip-flops and
-    ``result.core`` is the whole circuit.
+    ``result.core`` is the whole circuit.  Malformed input raises
+    :class:`NetlistFormatError` naming ``source`` (defaults to ``name``)
+    and the offending line.
     """
+    src = source if source is not None else name
     core = Netlist(name)
     outputs: list[str] = []
     flops: list[tuple[str, str]] = []  # (q, d)
-    for raw in text.splitlines():
+    defined_at: dict[str, tuple[int, str]] = {}  # net -> (line_no, line)
+
+    def fail(message: str, line_no: int = 0, line: str = "") -> NetlistFormatError:
+        return NetlistFormatError(message, source=src, line_no=line_no, line=line)
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         io = _IO_RE.match(line)
         if io:
             if io.group("kind") == "INPUT":
-                core.add_input(io.group("name"))
+                net = io.group("name")
+                if net in defined_at:
+                    raise fail(
+                        f"net {net!r} already defined on line "
+                        f"{defined_at[net][0]}",
+                        line_no,
+                        line,
+                    )
+                core.add_input(net)
+                defined_at[net] = (line_no, line)
             else:
                 outputs.append(io.group("name"))
             continue
         m = _LINE_RE.match(line)
         if not m:
-            raise NetlistError(f"unparseable BENCH line: {raw!r}")
+            raise fail(f"unparseable BENCH line: {raw.strip()!r}", line_no, line)
         lhs = m.group("lhs")
         op = m.group("op").upper()
         args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        if lhs in defined_at:
+            raise fail(
+                f"net {lhs!r} already defined on line {defined_at[lhs][0]}",
+                line_no,
+                line,
+            )
         if op == "DFF":
             if len(args) != 1:
-                raise NetlistError(f"DFF {lhs!r} must have exactly one input")
+                raise fail(
+                    f"DFF {lhs!r} must have exactly one input, got {len(args)}",
+                    line_no,
+                    line,
+                )
             flops.append((lhs, args[0]))
             core.add_input(lhs)  # Q net is a pseudo-primary input of the core
         elif op in BENCH_TYPES:
-            core.add_gate(lhs, BENCH_TYPES[op], args)
+            try:
+                core.add_gate(lhs, BENCH_TYPES[op], args)
+            except NetlistError as exc:
+                raise fail(str(exc), line_no, line) from exc
         else:
-            raise NetlistError(f"unknown BENCH gate type {op!r}")
+            raise fail(f"unknown BENCH gate type {op!r}", line_no, line)
+        defined_at[lhs] = (line_no, line)
+
+    # report undefined fan-ins against the line that referenced them
+    for lhs, (line_no, line) in defined_at.items():
+        if not core.has_net(lhs):
+            continue
+        for fi in core.gate(lhs).fanin:
+            if not core.has_net(fi):
+                raise fail(
+                    f"gate {lhs!r} uses undefined net {fi!r}", line_no, line
+                )
+    for o in outputs:
+        if not core.has_net(o):
+            raise fail(f"OUTPUT({o}) names an undefined net")
+    for q, d in flops:
+        if not core.has_net(d):
+            raise fail(f"DFF {q!r} uses undefined net {d!r}")
+
     core.set_outputs(outputs + [d for _, d in flops])
     circuit = SequentialCircuit(core, name=name)
     for i, (q, d) in enumerate(flops):
         circuit.add_flop(FlipFlop(f"ff_{q}", d=d, q=q))
     # true primary outputs were listed first; pseudo-outputs appended
     circuit.core.set_outputs(outputs + [d for _, d in flops])
-    circuit.validate()
+    try:
+        circuit.validate()
+    except NetlistError as exc:
+        raise fail(str(exc)) from exc
     return circuit
 
 
-def parse_bench_combinational(text: str, name: str = "bench") -> Netlist:
+def parse_bench_combinational(
+    text: str, name: str = "bench", source: str | None = None
+) -> Netlist:
     """Parse BENCH text that must be purely combinational."""
-    circuit = parse_bench(text, name)
+    circuit = parse_bench(text, name, source=source)
     if circuit.flops:
-        raise NetlistError("file contains DFFs; use parse_bench()")
+        raise NetlistFormatError(
+            "file contains DFFs; use parse_bench()",
+            source=source if source is not None else name,
+        )
     return circuit.core
 
 
 def load_bench(path: str | Path) -> SequentialCircuit:
-    """Parse a BENCH file from disk."""
+    """Parse a BENCH file from disk (errors carry the file path)."""
     p = Path(path)
-    return parse_bench(p.read_text(), name=p.stem)
+    return parse_bench(p.read_text(), name=p.stem, source=str(p))
 
 
 def write_bench(circuit: SequentialCircuit | Netlist) -> str:

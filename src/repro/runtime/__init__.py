@@ -1,0 +1,34 @@
+"""Resource-governed experiment runtime.
+
+The robustness layer every long-running harness runs on (see
+``docs/ROBUSTNESS.md``):
+
+* :class:`Budget` — unified wall-clock deadline + conflict/backtrack/
+  pattern caps, checked cooperatively inside the CDCL search loop, PODEM
+  and the bit-parallel fault simulator;
+* :func:`run_guarded` / :class:`RunOutcome` — convert timeouts, budget
+  exhaustion and exceptions into structured ``{ok, timeout, budget,
+  error}`` results instead of lost tables;
+* :class:`CheckpointStore` — crash-safe per-row JSON checkpoints
+  (atomic temp-file + rename) behind every experiment's ``--resume``;
+* :mod:`repro.runtime.faultinject` — deterministic fault injection used
+  by the robustness test-suite to prove graceful degradation.
+"""
+
+from .budget import Budget, BudgetExhausted, DeadlineExpired, ResourceExhausted
+from .checkpoint import CheckpointStore
+from .outcome import RunOutcome, RunStatus, run_guarded, run_with_retry
+from . import faultinject
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "DeadlineExpired",
+    "ResourceExhausted",
+    "CheckpointStore",
+    "RunOutcome",
+    "RunStatus",
+    "run_guarded",
+    "run_with_retry",
+    "faultinject",
+]

@@ -1,0 +1,218 @@
+"""Unified resource budgets for long-running search loops.
+
+Every expensive engine in the repository — the CDCL solver, PODEM, the
+bit-parallel fault simulator, the attack DIP loops — can run effectively
+forever on an adversarial instance.  The paper's evaluation (and every
+attack-evaluation paper it cites) reports results under explicit per-run
+resource limits; :class:`Budget` is the single object that carries those
+limits through all layers:
+
+* a **wall-clock deadline** (``wall_s`` seconds from :meth:`start`),
+* a **conflict cap** (CDCL conflicts, the classic SAT-attack knob),
+* a **backtrack cap** (PODEM decisions reversed),
+* a **pattern cap** (fault-simulation pattern-equivalents).
+
+The budget is *cooperative*: engines call the cheap ``charge_*`` /
+``check_deadline`` methods at natural checkpoints (a conflict, a
+backtrack, one fault's pattern block) and a violation raises
+:class:`BudgetExhausted` or :class:`DeadlineExpired`.  Both derive from
+:class:`ResourceExhausted`, which :func:`repro.runtime.run_guarded`
+translates into structured ``timeout`` / ``budget`` outcomes so harnesses
+record thwarted rows instead of dying.
+
+One budget may be shared across many solver calls — that is the point:
+an attack-level budget bounds the *sum* of its solves, not each one.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class ResourceExhausted(RuntimeError):
+    """Base of all cooperative resource-limit violations.
+
+    ``kind`` is the :class:`~repro.runtime.outcome.RunOutcome` status the
+    violation maps to (``"budget"`` or ``"timeout"``).
+    """
+
+    kind = "budget"
+
+
+class BudgetExhausted(ResourceExhausted):
+    """A countable cap (conflicts/backtracks/patterns/queries) ran out."""
+
+    kind = "budget"
+
+
+class DeadlineExpired(ResourceExhausted):
+    """The wall-clock deadline passed (or was force-expired)."""
+
+    kind = "timeout"
+
+
+class Budget:
+    """Cooperative resource budget shared across engine layers.
+
+    Args:
+        wall_s: wall-clock allowance in seconds (None = no deadline).
+        max_conflicts: CDCL conflict cap across all charged solves.
+        max_backtracks: PODEM backtrack cap.
+        max_patterns: fault-simulation pattern-equivalent cap.
+
+    The clock starts at construction; :meth:`restart` rewinds both the
+    deadline and every counter (used by retry policies that grant each
+    attempt a fresh allowance).
+    """
+
+    __slots__ = (
+        "wall_s",
+        "max_conflicts",
+        "max_backtracks",
+        "max_patterns",
+        "conflicts",
+        "backtracks",
+        "patterns",
+        "_t0",
+        "_deadline",
+        "_forced",
+    )
+
+    def __init__(
+        self,
+        wall_s: float | None = None,
+        max_conflicts: int | None = None,
+        max_backtracks: int | None = None,
+        max_patterns: int | None = None,
+    ) -> None:
+        self.wall_s = wall_s
+        self.max_conflicts = max_conflicts
+        self.max_backtracks = max_backtracks
+        self.max_patterns = max_patterns
+        self.conflicts = 0
+        self.backtracks = 0
+        self.patterns = 0
+        self._forced = False
+        self._t0 = time.monotonic()
+        self._deadline = None if wall_s is None else self._t0 + wall_s
+
+    # ------------------------------------------------------------------ #
+
+    def restart(self) -> "Budget":
+        """Reset counters and rewind the deadline; returns self."""
+        self.conflicts = 0
+        self.backtracks = 0
+        self.patterns = 0
+        self._forced = False
+        self._t0 = time.monotonic()
+        self._deadline = None if self.wall_s is None else self._t0 + self.wall_s
+        return self
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since construction / last :meth:`restart`."""
+        return time.monotonic() - self._t0
+
+    @property
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline (None when no deadline is set)."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        """Non-raising deadline probe."""
+        if self._forced:
+            return True
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def force_expire(self) -> None:
+        """Make every subsequent deadline check fail (fault injection)."""
+        self._forced = True
+
+    def exhausted(self) -> bool:
+        """Non-raising probe: True when any cap or the deadline is hit.
+
+        Lets code that also runs under a *local* per-call budget decide
+        whether a caught :class:`BudgetExhausted` belongs to this shared
+        budget (propagate) or to the local one (handle in place).
+        """
+        if self.expired():
+            return True
+        if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
+            return True
+        if (
+            self.max_backtracks is not None
+            and self.backtracks >= self.max_backtracks
+        ):
+            return True
+        if self.max_patterns is not None and self.patterns >= self.max_patterns:
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # charge points — called from engine inner loops; must stay cheap
+
+    def check_deadline(self) -> None:
+        """Raise :class:`DeadlineExpired` once the wall clock runs out."""
+        if self._forced or (
+            self._deadline is not None and time.monotonic() >= self._deadline
+        ):
+            raise DeadlineExpired(
+                f"wall-clock budget of {self.wall_s}s expired "
+                f"(elapsed {self.elapsed_s:.3f}s)"
+            )
+
+    def charge_conflict(self, n: int = 1) -> None:
+        """Account ``n`` CDCL conflicts; raise on cap or deadline."""
+        self.conflicts += n
+        if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
+            raise BudgetExhausted(
+                f"conflict budget {self.max_conflicts} exhausted"
+            )
+        self.check_deadline()
+
+    def charge_backtrack(self, n: int = 1) -> None:
+        """Account ``n`` PODEM backtracks; raise on cap or deadline."""
+        self.backtracks += n
+        if (
+            self.max_backtracks is not None
+            and self.backtracks >= self.max_backtracks
+        ):
+            raise BudgetExhausted(
+                f"backtrack budget {self.max_backtracks} exhausted"
+            )
+        self.check_deadline()
+
+    def charge_patterns(self, n: int) -> None:
+        """Account ``n`` simulated pattern-equivalents; raise on cap/deadline."""
+        self.patterns += n
+        if self.max_patterns is not None and self.patterns >= self.max_patterns:
+            raise BudgetExhausted(
+                f"pattern budget {self.max_patterns} exhausted"
+            )
+        self.check_deadline()
+
+    # ------------------------------------------------------------------ #
+
+    def spend(self) -> dict[str, float | int]:
+        """Diagnostics snapshot for :class:`~repro.runtime.RunOutcome`."""
+        return {
+            "elapsed_s": round(self.elapsed_s, 6),
+            "conflicts": self.conflicts,
+            "backtracks": self.backtracks,
+            "patterns": self.patterns,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        caps = [
+            f"{k}={v}"
+            for k, v in (
+                ("wall_s", self.wall_s),
+                ("max_conflicts", self.max_conflicts),
+                ("max_backtracks", self.max_backtracks),
+                ("max_patterns", self.max_patterns),
+            )
+            if v is not None
+        ]
+        return f"Budget({', '.join(caps) or 'unlimited'})"

@@ -1,0 +1,122 @@
+"""Crash-safe per-row experiment checkpoints.
+
+Layout: one directory per experiment, one JSON file per row::
+
+    <root>/<experiment>/
+        row-<key>.json      # one completed (or failed) row
+        ...
+
+Writes are atomic — serialize to a temp file in the same directory, then
+``os.replace`` — so a checkpoint is either entirely present or entirely
+absent no matter where the process died.  Reads are paranoid: a
+truncated or corrupted file (torn write, bit rot) is treated as missing
+and remembered in :attr:`CheckpointStore.corrupted` so the harness
+recomputes and overwrites the row instead of crashing or trusting
+garbage.
+
+The payload written by :class:`repro.experiments.runner.ExperimentRunner`
+is an envelope ``{"schema", "experiment", "key", "fingerprint", "status",
+"row", ...}``; the store itself is schema-agnostic and just moves dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Iterator
+
+from . import faultinject
+
+_KEY_RE = re.compile(r"[^A-Za-z0-9._=-]+")
+
+
+def _sanitize(key: str) -> str:
+    safe = _KEY_RE.sub("_", key)
+    return safe or "_"
+
+
+class CheckpointStore:
+    """Directory of atomic per-row JSON checkpoints."""
+
+    def __init__(self, root: str | os.PathLike, experiment: str | None = None):
+        path = Path(root)
+        if experiment:
+            path = path / _sanitize(experiment)
+        self.dir = path
+        self.dir.mkdir(parents=True, exist_ok=True)
+        #: row keys whose checkpoint files were unreadable/corrupt
+        self.corrupted: list[str] = []
+
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of one row's checkpoint."""
+        return self.dir / f"row-{_sanitize(key)}.json"
+
+    def save(self, key: str, payload: dict[str, Any]) -> Path:
+        """Atomically persist one row (temp file + rename)."""
+        final = self.path_for(key)
+        tmp = final.with_name(f".{final.name}.tmp")
+        text = json.dumps(payload, sort_keys=True, indent=None)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if faultinject.enabled:
+            # a crash here must leave only the temp file behind
+            faultinject.fire("checkpoint.save")
+        os.replace(tmp, final)
+        return final
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """Return a row's payload, or None when absent or corrupt."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.corrupted.append(key)
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self.corrupted.append(key)
+            return None
+        if not isinstance(payload, dict):
+            self.corrupted.append(key)
+            return None
+        return payload
+
+    def discard(self, key: str) -> None:
+        """Delete one row's checkpoint if present."""
+        try:
+            self.path_for(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def keys(self) -> list[str]:
+        """Sanitized keys of every checkpoint currently on disk."""
+        out = []
+        for p in sorted(self.dir.glob("row-*.json")):
+            out.append(p.name[len("row-"):-len(".json")])
+        return out
+
+    def clear(self) -> None:
+        """Remove every checkpoint (and stray temp files)."""
+        for p in self.dir.glob("row-*.json"):
+            p.unlink()
+        for p in self.dir.glob(".row-*.json.tmp"):
+            p.unlink()
+        self.corrupted.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.dir.glob("row-*.json"))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CheckpointStore({str(self.dir)!r}, rows={len(self)})"

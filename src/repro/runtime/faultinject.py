@@ -1,0 +1,167 @@
+"""Deterministic fault injection for robustness testing.
+
+The checkpoint/resume and budget machinery only earns its keep if a
+killed process, an expiring deadline, or a corrupted checkpoint actually
+degrade gracefully — which can only be proven by *making those happen on
+demand*.  This module provides a tiny deterministic injection registry:
+
+* engines mark **sites** in their inner loops::
+
+      if faultinject.enabled:
+          faultinject.fire("sat.conflict")
+
+  When nothing is installed, ``enabled`` is False and the cost of the
+  site is one module-attribute read.
+
+* tests install **plans**: fire an exception (or run a callable) on the
+  Nth hit of a site::
+
+      faultinject.install("sat.conflict", at=100)            # raise InjectedFault
+      faultinject.install("podem.backtrack", at=5,
+                          action=budget.force_expire)        # expire mid-PODEM
+      with faultinject.injected("experiment.row", at=3):
+          ...                                                # auto-clears
+
+Instrumented sites (grep for ``faultinject.fire``):
+
+========================  =====================================================
+``sat.conflict``          every CDCL conflict in :meth:`repro.sat.Solver.solve`
+``podem.backtrack``       every PODEM backtrack
+``faultsim.fault``        every fault processed by :meth:`FaultSimulator.run`
+``checkpoint.save``       before a checkpoint's atomic rename
+``experiment.row``        before each experiment row is computed
+========================  =====================================================
+
+Everything is process-local and deterministic: hit counters advance only
+while at least one plan is installed, so unrelated code paths cannot
+perturb the schedule.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: fast-path flag read by instrumented sites; True iff any plan is installed
+enabled = False
+
+
+class InjectedFault(RuntimeError):
+    """Default exception raised by a fired injection plan."""
+
+
+@dataclass
+class _Plan:
+    site: str
+    at: int
+    exc: type[BaseException] | BaseException | None = None
+    action: Callable[[], None] | None = None
+    repeat: bool = False
+    fired: int = field(default=0)
+
+
+_plans: dict[str, list[_Plan]] = {}
+_hits: dict[str, int] = {}
+
+
+def install(
+    site: str,
+    at: int = 1,
+    exc: type[BaseException] | BaseException | None = None,
+    action: Callable[[], None] | None = None,
+    repeat: bool = False,
+) -> None:
+    """Arm ``site`` to fire on its ``at``-th hit (1-based).
+
+    Exactly one of ``exc`` / ``action`` applies: ``action`` is called if
+    given, otherwise ``exc`` (default :class:`InjectedFault`) is raised.
+    With ``repeat`` the plan fires on every hit >= ``at``.
+    """
+    global enabled
+    if at < 1:
+        raise ValueError("at must be >= 1 (1-based hit count)")
+    _plans.setdefault(site, []).append(
+        _Plan(site=site, at=at, exc=exc, action=action, repeat=repeat)
+    )
+    enabled = True
+
+
+def clear(site: str | None = None) -> None:
+    """Remove plans (for one site, or all) and reset hit counters."""
+    global enabled
+    if site is None:
+        _plans.clear()
+        _hits.clear()
+    else:
+        _plans.pop(site, None)
+        _hits.pop(site, None)
+    enabled = bool(_plans)
+
+
+def hits(site: str) -> int:
+    """Hits recorded for ``site`` since its counter was last cleared."""
+    return _hits.get(site, 0)
+
+
+def fire(site: str) -> None:
+    """Advance ``site``'s hit counter and trigger any due plan.
+
+    Instrumented code guards the call with ``faultinject.enabled`` so an
+    idle registry costs nothing; calling unconditionally is also safe.
+    """
+    if not enabled:
+        return
+    plans = _plans.get(site)
+    if not plans:
+        return
+    count = _hits.get(site, 0) + 1
+    _hits[site] = count
+    for plan in plans:
+        due = count == plan.at or (plan.repeat and count >= plan.at)
+        if not due:
+            continue
+        plan.fired += 1
+        if plan.action is not None:
+            plan.action()
+            continue
+        exc = plan.exc
+        if exc is None:
+            raise InjectedFault(f"injected fault at {site} (hit {count})")
+        if isinstance(exc, type):
+            raise exc(f"injected fault at {site} (hit {count})")
+        raise exc
+
+
+@contextlib.contextmanager
+def injected(
+    site: str,
+    at: int = 1,
+    exc: type[BaseException] | BaseException | None = None,
+    action: Callable[[], None] | None = None,
+    repeat: bool = False,
+) -> Iterator[None]:
+    """Context manager: install a plan, always clear the site on exit."""
+    install(site, at=at, exc=exc, action=action, repeat=repeat)
+    try:
+        yield
+    finally:
+        clear(site)
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint-file attacks (used by the robustness suite)
+
+
+def truncate_file(path: str | os.PathLike, keep_bytes: int = 3) -> None:
+    """Truncate a file to ``keep_bytes`` — a torn write / partial flush."""
+    with open(path, "r+b") as fh:
+        fh.truncate(keep_bytes)
+
+
+def corrupt_file(path: str | os.PathLike, garbage: bytes = b"\x00garbage{") -> None:
+    """Overwrite a file's head with garbage — bit-rot / cross-write."""
+    with open(path, "r+b") as fh:
+        fh.seek(0)
+        fh.write(garbage)

@@ -1,0 +1,168 @@
+"""Structured run outcomes: the ``{ok, timeout, budget, error}`` contract.
+
+A long experiment campaign must never lose a whole table to one hung
+solve or one raising attack.  :func:`run_guarded` executes a callable
+under an optional :class:`~repro.runtime.budget.Budget` and converts the
+three failure families into data:
+
+* :class:`~repro.runtime.budget.DeadlineExpired` -> ``timeout``
+* :class:`~repro.runtime.budget.BudgetExhausted` (and subclasses such as
+  :class:`repro.attacks.oracle.OracleBudgetExceeded`) -> ``budget``
+* any other :class:`Exception` -> ``error`` (with the traceback captured)
+
+``KeyboardInterrupt``/``SystemExit`` always propagate — a killed process
+must look killed, which is what checkpoint/resume exists for.
+
+:func:`run_with_retry` layers a deterministic retry-with-backoff policy
+on top: only ``error`` outcomes are retried (a timeout would time out
+again under the same budget; a deliberate cap is not transient), each
+attempt gets a fresh budget, and the backoff schedule is fixed
+(``backoff_s * 2**attempt``) with an injectable sleep for tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .budget import Budget, BudgetExhausted, DeadlineExpired, ResourceExhausted
+
+
+class RunStatus(str, enum.Enum):
+    """Terminal classification of one guarded run."""
+
+    OK = "ok"
+    TIMEOUT = "timeout"
+    BUDGET = "budget"
+    ERROR = "error"
+
+
+@dataclass
+class RunOutcome:
+    """What happened when a unit of work ran.
+
+    Attributes:
+        status: terminal classification (see :class:`RunStatus`).
+        value: the callable's return value (None unless ``ok``).
+        elapsed_s: wall-clock duration of the final attempt.
+        error: one-line description of the failure (non-``ok`` only).
+        error_type: exception class name (non-``ok`` only).
+        traceback: formatted traceback for ``error`` outcomes.
+        attempts: total attempts made (>= 2 only under a retry policy).
+        diagnostics: free-form extras (budget spend, retry history...).
+    """
+
+    status: RunStatus
+    value: Any = None
+    elapsed_s: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+    traceback: str | None = None
+    attempts: int = 1
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the run completed normally."""
+        return self.status is RunStatus.OK
+
+
+def run_guarded(
+    fn: Callable[..., Any],
+    *args: Any,
+    budget: Budget | None = None,
+    **kwargs: Any,
+) -> RunOutcome:
+    """Run ``fn(*args, **kwargs)`` and classify the outcome.
+
+    ``budget`` is not forwarded to the callable — close over it (or pass
+    it via ``kwargs``) when the work should charge against it; here it
+    only contributes its spend snapshot to the outcome diagnostics.
+    Violations raised from any depth are caught and classified.
+    """
+    t0 = time.perf_counter()
+
+    def _finish(outcome: RunOutcome) -> RunOutcome:
+        outcome.elapsed_s = time.perf_counter() - t0
+        if budget is not None:
+            outcome.diagnostics.setdefault("budget", budget.spend())
+        return outcome
+
+    try:
+        value = fn(*args, **kwargs)
+    except DeadlineExpired as exc:
+        return _finish(
+            RunOutcome(
+                RunStatus.TIMEOUT, error=str(exc), error_type=type(exc).__name__
+            )
+        )
+    except BudgetExhausted as exc:
+        return _finish(
+            RunOutcome(
+                RunStatus.BUDGET, error=str(exc), error_type=type(exc).__name__
+            )
+        )
+    except ResourceExhausted as exc:  # custom kinds outside the two above
+        status = RunStatus.TIMEOUT if exc.kind == "timeout" else RunStatus.BUDGET
+        return _finish(
+            RunOutcome(status, error=str(exc), error_type=type(exc).__name__)
+        )
+    except Exception as exc:
+        return _finish(
+            RunOutcome(
+                RunStatus.ERROR,
+                error=str(exc) or type(exc).__name__,
+                error_type=type(exc).__name__,
+                traceback=_traceback.format_exc(),
+            )
+        )
+    return _finish(RunOutcome(RunStatus.OK, value=value))
+
+
+def run_with_retry(
+    fn: Callable[..., Any],
+    *args: Any,
+    budget_factory: Callable[[], Budget | None] | None = None,
+    retries: int = 0,
+    backoff_s: float = 0.0,
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs: Any,
+) -> RunOutcome:
+    """Guarded execution with deterministic retry-with-backoff.
+
+    Only ``error`` outcomes are retried: timeouts and budget exhaustion
+    are deliberate resource decisions, not transient faults.  Attempt
+    ``i`` (0-based) sleeps ``backoff_s * 2**i`` before retrying and runs
+    under a fresh budget from ``budget_factory``.  When the factory
+    yields a budget, it is forwarded to ``fn`` as a ``budget`` keyword so
+    the work can charge against it — ``fn`` must accept that keyword.
+    """
+    history: list[dict[str, Any]] = []
+    outcome = RunOutcome(RunStatus.ERROR, error="never ran")
+    attempts = max(1, retries + 1)
+    for attempt in range(attempts):
+        budget = budget_factory() if budget_factory is not None else None
+        if budget is not None:
+            # forwarded to fn by closure: run_guarded keeps its own
+            # ``budget`` kwarg strictly for diagnostics
+            outcome = run_guarded(
+                lambda: fn(*args, budget=budget, **kwargs), budget=budget
+            )
+        else:
+            outcome = run_guarded(fn, *args, **kwargs)
+        if outcome.status is not RunStatus.ERROR or attempt == attempts - 1:
+            break
+        history.append(
+            {"attempt": attempt + 1, "status": outcome.status.value,
+             "error": outcome.error}
+        )
+        delay = backoff_s * (2 ** attempt)
+        if delay > 0:
+            sleep(delay)
+    outcome.attempts = len(history) + 1
+    if history:
+        outcome.diagnostics["retry_history"] = history
+    return outcome

@@ -21,6 +21,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..runtime import faultinject
+from ..runtime.budget import Budget, BudgetExhausted, DeadlineExpired
 from .cnf import CNF
 
 TRUE = 1
@@ -449,14 +451,27 @@ class Solver:
         self,
         assumptions: Sequence[int] = (),
         conflict_budget: int | None = None,
+        budget: Budget | None = None,
     ) -> SolveResult:
         """Search for a model consistent with ``assumptions``.
 
         Args:
             assumptions: DIMACS literals temporarily asserted true.
             conflict_budget: abort (raising BudgetExhausted) after this
-                many conflicts, if given.
+                many conflicts *of this call*, if given — shorthand for a
+                fresh single-cap :class:`~repro.runtime.Budget`.
+            budget: shared :class:`~repro.runtime.Budget` charged one
+                conflict per conflict; its caps and wall-clock deadline
+                span every solve call it is passed to.  Raises
+                :class:`~repro.runtime.BudgetExhausted` /
+                :class:`~repro.runtime.DeadlineExpired` with the solver
+                restored to decision level 0.
         """
+        local_budget = (
+            Budget(max_conflicts=conflict_budget)
+            if conflict_budget is not None
+            else None
+        )
         start_conf = self.stats_conflicts
         start_dec = self.stats_decisions
         start_prop = self.stats_propagations
@@ -486,6 +501,8 @@ class Solver:
             if conflict is not None:
                 self.stats_conflicts += 1
                 conflicts_until_restart -= 1
+                if faultinject.enabled:
+                    faultinject.fire("sat.conflict")
                 if len(self._trail_lim) == 0:
                     self._ok = False
                     return SolveResult(False, None, **stats())
@@ -509,13 +526,15 @@ class Solver:
                     self._bump_clause(clause)
                     self._enqueue(learned[0], clause)
                 self._decay()
-                if conflict_budget is not None and (
-                    self.stats_conflicts - start_conf
-                ) >= conflict_budget:
-                    self._backtrack(0)
-                    raise BudgetExhausted(
-                        f"conflict budget {conflict_budget} exhausted"
-                    )
+                if local_budget is not None or budget is not None:
+                    try:
+                        if local_budget is not None:
+                            local_budget.charge_conflict()
+                        if budget is not None:
+                            budget.charge_conflict()
+                    except (BudgetExhausted, DeadlineExpired):
+                        self._backtrack(0)
+                        raise
                 if len(self._learned) > self._max_learned:
                     self._reduce_db()
                     self._max_learned = int(self._max_learned * 1.3)
@@ -539,6 +558,14 @@ class Solver:
                 if val == UNASSIGNED:
                     self._enqueue(ilit, None)
                 continue
+            # deadline coverage for propagation-heavy solves that rarely
+            # conflict: poll the wall clock every 1024 decisions
+            if budget is not None and (self.stats_decisions & 1023) == 0:
+                try:
+                    budget.check_deadline()
+                except DeadlineExpired:
+                    self._backtrack(0)
+                    raise
             v = self._pick_branch_var()
             if v == 0:
                 model = {
@@ -552,10 +579,6 @@ class Solver:
             self._enqueue(ilit, None)
 
 
-class BudgetExhausted(RuntimeError):
-    """Raised when a conflict budget is exceeded (AppSAT-style early stop)."""
-
-
 def _luby(i: int) -> int:
     """The Luby restart sequence for 0-based ``i``: 1,1,2,1,1,2,4,..."""
     n = i + 1  # 1-based position
@@ -567,7 +590,10 @@ def _luby(i: int) -> int:
 
 
 def solve_cnf(
-    cnf: CNF, assumptions: Sequence[int] = (), conflict_budget: int | None = None
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    conflict_budget: int | None = None,
+    budget: Budget | None = None,
 ) -> SolveResult:
     """One-shot convenience wrapper around :class:`Solver`."""
-    return Solver(cnf).solve(assumptions, conflict_budget)
+    return Solver(cnf).solve(assumptions, conflict_budget, budget=budget)

@@ -143,6 +143,7 @@ class TestAppSAT:
         assert match > 0.97
 
 
+@pytest.mark.slow
 class TestDoubleDIP:
     def test_recovers_rll_key(self, rll):
         res = doubledip_attack(
@@ -184,6 +185,7 @@ class TestHillClimb:
         assert res.completed
 
 
+@pytest.mark.slow
 class TestSensitization:
     def test_recovers_rll_key(self, rll):
         res = sensitization_attack(

@@ -5,6 +5,8 @@ import pytest
 from repro.bench import c17
 from repro.netlist import (
     NetlistError,
+    NetlistFormatError,
+    load_bench,
     parse_bench,
     parse_bench_combinational,
     write_bench,
@@ -76,6 +78,73 @@ class TestParse:
     def test_multi_input_dff_rejected(self):
         with pytest.raises(NetlistError):
             parse_bench("INPUT(a)\nq = DFF(a, a)\n")
+
+
+class TestFormatErrors:
+    """Malformed files raise NetlistFormatError with file/line context."""
+
+    def test_format_error_is_netlist_error(self):
+        assert issubclass(NetlistFormatError, NetlistError)
+
+    def test_garbage_line_carries_line_number(self):
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench("INPUT(a)\nwhat is this\n", source="bad.bench")
+        err = ei.value
+        assert err.source == "bad.bench"
+        assert err.line_no == 2
+        assert "bad.bench:2:" in str(err)
+        assert "what is this" in str(err)
+
+    def test_unknown_gate_carries_context(self):
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+        assert ei.value.line_no == 3
+        assert "FROB" in str(ei.value)
+
+    def test_duplicate_driver_names_both_lines(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench(text)
+        assert ei.value.line_no == 4
+        assert "line 3" in str(ei.value)
+
+    def test_duplicate_input_decl_rejected(self):
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert ei.value.line_no == 2
+
+    def test_undefined_fanin_names_referencing_line(self):
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+        assert ei.value.line_no == 3
+        assert "ghost" in str(ei.value)
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench("INPUT(a)\nOUTPUT(nowhere)\n")
+        assert "nowhere" in str(ei.value)
+
+    def test_undefined_dff_data_rejected(self):
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(missing)\n")
+        assert "missing" in str(ei.value)
+
+    def test_dff_arity_error_carries_line(self):
+        with pytest.raises(NetlistFormatError) as ei:
+            parse_bench("INPUT(a)\nq = DFF(a, a)\n")
+        assert ei.value.line_no == 2
+
+    def test_load_bench_error_names_file(self, tmp_path):
+        p = tmp_path / "broken.bench"
+        p.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a,\n")
+        with pytest.raises(NetlistFormatError) as ei:
+            load_bench(p)
+        assert str(p) in str(ei.value)
+        assert ei.value.line_no == 3
+
+    def test_good_file_still_parses(self):
+        seq = parse_bench(SEQ_TEXT, name="tiny", source="tiny.bench")
+        assert len(seq.flops) == 1
 
 
 class TestWrite:

@@ -1,0 +1,107 @@
+"""Tests for crash-safe checkpoints: atomicity, corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.runtime import CheckpointStore, faultinject
+from repro.runtime.faultinject import InjectedFault, corrupt_file, truncate_file
+
+pytestmark = pytest.mark.robust
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path, "exp")
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    yield
+    faultinject.clear()
+
+
+class TestRoundTrip:
+    def test_save_load(self, store):
+        payload = {"status": "ok", "row": {"hd": 43.5}, "fingerprint": {"s": 1}}
+        store.save("c432", payload)
+        assert store.load("c432") == payload
+
+    def test_missing_is_none(self, store):
+        assert store.load("nope") is None
+        assert store.corrupted == []
+
+    def test_keys_sorted_and_sanitized(self, store):
+        store.save("b/20 x", {"v": 1})
+        store.save("a1", {"v": 2})
+        assert store.keys() == ["a1", "b_20_x"]
+        assert len(store) == 2
+        assert list(store) == store.keys()
+
+    def test_discard_and_clear(self, store):
+        store.save("k", {"v": 1})
+        store.discard("k")
+        store.discard("k")  # idempotent
+        assert store.load("k") is None
+        store.save("k2", {"v": 2})
+        store.clear()
+        assert len(store) == 0
+
+    def test_overwrite_replaces(self, store):
+        store.save("k", {"v": 1})
+        store.save("k", {"v": 2})
+        assert store.load("k") == {"v": 2}
+
+    def test_no_temp_files_left_behind(self, store, tmp_path):
+        for i in range(5):
+            store.save(f"k{i}", {"v": i})
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestCorruption:
+    def test_truncated_file_treated_as_missing(self, store):
+        store.save("k", {"status": "ok", "row": [1, 2, 3]})
+        truncate_file(store.path_for("k"), keep_bytes=5)
+        assert store.load("k") is None
+        assert "k" in store.corrupted
+
+    def test_garbage_head_treated_as_missing(self, store):
+        store.save("k", {"status": "ok"})
+        corrupt_file(store.path_for("k"))
+        assert store.load("k") is None
+        assert "k" in store.corrupted
+
+    def test_non_dict_json_rejected(self, store):
+        store.path_for("k").write_text(json.dumps([1, 2, 3]))
+        assert store.load("k") is None
+        assert "k" in store.corrupted
+
+    def test_recompute_overwrites_corrupt_row(self, store):
+        store.save("k", {"v": "good"})
+        truncate_file(store.path_for("k"), keep_bytes=2)
+        assert store.load("k") is None
+        store.save("k", {"v": "recomputed"})
+        assert store.load("k") == {"v": "recomputed"}
+
+
+class TestAtomicity:
+    def test_crash_before_rename_leaves_no_partial_row(self, store):
+        """A kill between temp-write and rename must not publish the row."""
+        faultinject.install("checkpoint.save", at=1)
+        with pytest.raises(InjectedFault):
+            store.save("k", {"v": 1})
+        faultinject.clear()
+        assert store.load("k") is None  # nothing published
+        # the temp file is the only debris, and clear() sweeps it
+        debris = list(store.dir.glob(".row-*.tmp"))
+        assert len(debris) == 1
+        store.clear()
+        assert not list(store.dir.glob(".row-*.tmp"))
+
+    def test_crash_during_overwrite_keeps_old_row(self, store):
+        store.save("k", {"v": "old"})
+        faultinject.install("checkpoint.save", at=1)
+        with pytest.raises(InjectedFault):
+            store.save("k", {"v": "new"})
+        faultinject.clear()
+        assert store.load("k") == {"v": "old"}

@@ -71,6 +71,7 @@ def test_act2_activation_protocol(story):
         assert chip.is_unlocked()
 
 
+@pytest.mark.slow
 def test_act3_sat_attack_outcomes(story):
     basic, _ = story
     locked = basic.locked

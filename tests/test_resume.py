@@ -1,0 +1,159 @@
+"""End-to-end kill/resume and deadline-degradation acceptance tests.
+
+These prove the two headline robustness claims:
+
+* killing a Table-I campaign after row k (via the ``experiment.row``
+  injection site — the moral equivalent of a power cut between rows) and
+  rerunning with ``resume=True`` yields byte-identical table output;
+* an attack-matrix campaign under an absurd per-attack deadline still
+  completes, recording ``timeout`` rows for every oracle-driven attack.
+"""
+
+import pytest
+
+from repro.experiments import (
+    RunPolicy,
+    print_attack_matrix,
+    print_table1,
+    run_attack_matrix,
+    run_table1,
+)
+from repro.runtime import CheckpointStore, faultinject
+from repro.runtime.faultinject import InjectedFault, corrupt_file
+
+pytestmark = pytest.mark.robust
+
+TINY = dict(scale=0.005, circuits=["s38417", "b20", "b21"], n_patterns=256,
+            n_keys=2)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+@pytest.fixture(scope="module")
+def tiny_design():
+    """One shared small protected design for the matrix tests."""
+    from repro.bench import GeneratorConfig, SequentialConfig, generate_sequential
+    from repro.locking import WLLConfig
+    from repro.orap import OraPConfig, protect
+
+    design = generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=8, n_outputs=10, n_gates=60, depth=5, seed=3,
+                name="resume60",
+            ),
+            n_flops=4,
+        )
+    )
+    return protect(
+        design,
+        orap=OraPConfig(variant="basic"),
+        wll=WLLConfig(key_width=6, control_width=3, n_key_gates=2),
+        rng=5,
+    )
+
+
+class TestTable1KillResume:
+    @pytest.mark.slow
+    def test_kill_after_row_2_resume_byte_identical(self, tmp_path, capsys):
+        baseline = run_table1(**TINY)
+        baseline_text = print_table1(baseline)
+        capsys.readouterr()
+
+        policy = RunPolicy(checkpoint_dir=tmp_path, resume=True)
+        # power cut before row 3 computes
+        faultinject.install("experiment.row", at=3)
+        with pytest.raises(InjectedFault):
+            run_table1(**TINY, policy=policy)
+        faultinject.clear()
+        store = CheckpointStore(tmp_path, "table1")
+        assert store.keys() == ["b20", "s38417"]  # row 3 never landed
+
+        resumed = run_table1(**TINY, policy=policy)
+        resumed_text = print_table1(resumed)
+        capsys.readouterr()
+        assert resumed_text == baseline_text  # byte-identical output
+
+    @pytest.mark.slow
+    def test_resume_survives_corrupted_checkpoint(self, tmp_path, capsys):
+        baseline_text = print_table1(run_table1(**TINY))
+        capsys.readouterr()
+
+        policy = RunPolicy(checkpoint_dir=tmp_path, resume=True)
+        run_table1(**TINY, policy=policy)
+        store = CheckpointStore(tmp_path, "table1")
+        corrupt_file(store.path_for("b20"))
+
+        resumed_text = print_table1(run_table1(**TINY, policy=policy))
+        capsys.readouterr()
+        assert resumed_text == baseline_text
+
+    @pytest.mark.slow
+    def test_changed_fingerprint_recomputes(self, tmp_path):
+        policy = RunPolicy(checkpoint_dir=tmp_path, resume=True)
+        run_table1(**TINY, policy=policy)
+        # different n_keys -> different fingerprint -> stale rows ignored
+        changed = dict(TINY, n_keys=3)
+        rows = run_table1(**changed, policy=policy)
+        assert [r.circuit for r in rows] == TINY["circuits"]
+
+
+class TestAttackMatrixDeadlines:
+    def test_tiny_deadline_degrades_to_timeout_rows(self, tiny_design, capsys):
+        cells = run_attack_matrix(
+            variant="basic",
+            max_iterations=16,
+            attack_deadline_s=1e-6,
+            design=tiny_design,
+        )
+        print_attack_matrix(cells)
+        capsys.readouterr()
+        by_key = {(c.chip, c.attack): c for c in cells}
+        assert len(cells) == 13  # campaign completed despite the deadline
+        # every oracle-driven attack ran out of wall clock...
+        for chip in ("conventional", "orap"):
+            for atk in ("sat", "appsat", "doubledip", "hillclimb",
+                        "sensitization"):
+                cell = by_key[(chip, atk)]
+                assert cell.status == "timeout", (chip, atk, cell.status)
+                assert not cell.completed and not cell.key_correct
+        # ...while the structural (non-oracle) attacks are instant
+        assert by_key[("orap", "sps")].status == "ok"
+        assert by_key[("orap", "removal")].status == "ok"
+
+    def test_matrix_kill_resume_is_consistent(self, tiny_design, tmp_path):
+        policy = RunPolicy(checkpoint_dir=tmp_path, resume=True)
+        baseline = run_attack_matrix(
+            variant="basic", max_iterations=16, design=tiny_design,
+            policy=policy,
+        )
+        # second run must reuse every row and reproduce it exactly
+        resumed = run_attack_matrix(
+            variant="basic", max_iterations=16, design=tiny_design,
+            policy=policy,
+        )
+        assert resumed == baseline
+
+    def test_timeout_rows_are_reused_on_resume(self, tiny_design, tmp_path):
+        policy = RunPolicy(checkpoint_dir=tmp_path, resume=True)
+        run_attack_matrix(
+            variant="basic", max_iterations=16, attack_deadline_s=1e-6,
+            design=tiny_design, policy=policy,
+        )
+        # a timeout verdict is deliberate: resume must not retry it
+        faultinject.install("sat.conflict", at=1)  # would crash a re-run
+        cells = run_attack_matrix(
+            variant="basic", max_iterations=16, attack_deadline_s=1e-6,
+            design=tiny_design, policy=policy,
+        )
+        faultinject.clear()
+        assert all(
+            c.status == "timeout"
+            for c in cells
+            if c.attack in ("sat", "appsat", "doubledip")
+        )
