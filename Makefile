@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev test verify-fast verify-robust bench experiments examples clean
+.PHONY: install dev lint test verify-fast verify-robust bench experiments examples clean
 
 install:
 	pip install -e .
@@ -13,8 +13,21 @@ dev:
 test:
 	$(PY) -m pytest tests/
 
-# quick signal: everything except the slow end-to-end suites
-verify-fast:
+# static analysis: ruff + mypy over the Python sources, then the project's
+# own netlist/CNF/scheme linter over every bundled artifact.  The external
+# tools are skipped with a notice when not installed (`make dev` gets them);
+# `repro lint` always runs.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else echo "ruff not installed; skipping (pip install -e '.[dev]')"; fi
+	@if $(PY) -c "import mypy" >/dev/null 2>&1; then \
+		$(PY) -m mypy --strict -p repro.lint; \
+	else echo "mypy not installed; skipping (pip install -e '.[dev]')"; fi
+	PYTHONPATH=src $(PY) -m repro lint --strict
+
+# quick signal: static analysis plus everything except the slow suites
+verify-fast: lint
 	$(PY) -m pytest tests/ -m "not slow"
 
 # robustness gate: runtime governance, fault injection, kill/resume

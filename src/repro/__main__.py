@@ -87,7 +87,49 @@ def main(argv: list[str] | None = None) -> int:
     ph.add_argument("--circuit", default="b20")
     sub.add_parser("all", help="every experiment, default parameters")
 
+    pl = sub.add_parser(
+        "lint", help="static-analysis pre-flight over netlists/schemes/CNF"
+    )
+    pl.add_argument(
+        "paths", nargs="*", help=".bench/.v/.cnf/.dimacs files to lint"
+    )
+    pl.add_argument(
+        "--benchmarks",
+        action="store_true",
+        help="lint every bundled benchmark stand-in and fixture",
+    )
+    pl.add_argument(
+        "--orap",
+        action="store_true",
+        help="lint freshly protected OraP chips (basic + modified)",
+    )
+    pl.add_argument("--scale", type=float, default=None)
+    pl.add_argument("--format", choices=["text", "json"], default="text")
+    pl.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    pl.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    pl.add_argument(
+        "--no-info", action="store_true", help="hide info-level findings"
+    )
+
     args = parser.parse_args(argv)
+
+    if args.cmd == "lint":
+        from .lint.cli import run_lint
+
+        return run_lint(
+            paths=args.paths,
+            benchmarks=args.benchmarks,
+            orap=args.orap,
+            scale=args.scale,
+            fmt=args.format,
+            strict=args.strict,
+            show_info=not args.no_info,
+            list_rules=args.rules,
+        )
 
     from .experiments import (
         DEFAULT_SCALE,

@@ -9,11 +9,11 @@ trade HOPE [28] makes (parallel patterns, event-driven regions).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 import numpy as np
 
-from ..netlist import GateType, Netlist
+from ..netlist import Netlist
 from ..runtime import faultinject
 from ..runtime.budget import Budget
 from ..sim.bitsim import BitSimulator, _eval_words, tail_mask

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..netlist import Netlist
 from ..orap.chip import ProtectedChip
 from ..orap.scheme import OraPDesign
 from .engine import run_atpg

@@ -23,7 +23,7 @@ from typing import Sequence
 from ..netlist import Netlist
 from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import Solver
-from ..synth.aig import FALSE_LIT, lit_not
+from ..synth.aig import lit_not
 from .encoding import AIGEncoder
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result

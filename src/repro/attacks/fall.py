@@ -141,9 +141,9 @@ def confirm_key(
         v = enc.var(name)
         strip_lits.append(v if polarity else -v)
     strip_var = cnf.new_var()
-    for l in strip_lits:
-        cnf.add_clause([-strip_var, l])
-    cnf.add_clause([strip_var] + [-l for l in strip_lits])
+    for lit in strip_lits:
+        cnf.add_clause([-strip_var, lit])
+    cnf.add_clause([strip_var] + [-lit for lit in strip_lits])
     r = enc.var(restore_net)
     # ask for a witness where restore != strip; UNSAT confirms the key
     cnf.add_clause([r, strip_var])

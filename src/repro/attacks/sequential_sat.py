@@ -29,7 +29,6 @@ from ..netlist import SequentialCircuit
 from ..orap.chip import ProtectedChip
 from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import Solver
-from ..synth.aig import FALSE_LIT
 from .encoding import AIGEncoder
 from .result import AttackResult, exhausted_result
 

@@ -15,7 +15,7 @@ netlist, so experiment rows are reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..netlist import FlipFlop, GateType, Netlist, SequentialCircuit
 
@@ -190,6 +190,27 @@ def generate_netlist(config: GeneratorConfig) -> Netlist:
     # guarantee no dead logic: alias unreachable gates onto extra outputs? No —
     # prune them instead, then top up gate count is not critical for tests.
     nl.prune_dangling()
+
+    # pruning may orphan inputs whose only consumers died; real benchmarks
+    # have no unused PIs (and attacks assume every PI can influence some
+    # output), so fold the orphans into the last output via an XOR chain
+    fan_counts: dict[str, int] = {n: 0 for n in nl.nets}
+    for g in nl.gates():
+        for f in g.fanin:
+            fan_counts[f] += 1
+    out_set = set(nl.outputs)
+    orphans = [i for i in nl.inputs if fan_counts[i] == 0 and i not in out_set]
+    if orphans:
+        anchor = nl.outputs[-1]
+        old = nl.gate(anchor)
+        cur = nl.fresh_name("rescue")
+        nl.add_gate(cur, old.gtype, old.fanin)
+        for pi in orphans[:-1]:
+            nxt = nl.fresh_name("rescue")
+            nl.add_gate(nxt, GateType.XOR, (cur, pi))
+            cur = nxt
+        nl.replace_gate(anchor, GateType.XOR, (cur, orphans[-1]))
+
     nl.validate()
     return nl
 

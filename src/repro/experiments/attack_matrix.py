@@ -108,6 +108,14 @@ def run_attack_matrix(
     d = design if design is not None else default_design(seed=seed, variant=variant)
     locked = d.locked
     target = locked.locked
+
+    # one lint pass over the protected design, shared by every cell's
+    # pre-flight: a malformed chip yields a matrix of error rows instead
+    # of attacks "succeeding" against a broken oracle
+    from ..lint import lint_orap
+
+    design_report = lint_orap(d)
+
     runner = ExperimentRunner(
         "attack_matrix",
         policy,
@@ -189,7 +197,11 @@ def run_attack_matrix(
             )
 
         outcome = runner.run_row(
-            key, compute, encode=asdict, decode=lambda p: MatrixCell(**p)
+            key,
+            compute,
+            encode=asdict,
+            decode=lambda p: MatrixCell(**p),
+            preflight=lambda: design_report,
         )
         if outcome.value is not None:
             cells.append(outcome.value)

@@ -25,12 +25,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..runtime import faultinject
 from ..runtime.budget import Budget
 from ..runtime.checkpoint import CheckpointStore
 from ..runtime.outcome import RunOutcome, RunStatus, run_with_retry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..lint.diagnostics import LintReport
 
 #: default location for experiment checkpoints, relative to the CWD
 DEFAULT_CHECKPOINT_ROOT = ".repro-checkpoints"
@@ -119,6 +122,7 @@ class ExperimentRunner:
         compute: Callable[..., Any],
         encode: Callable[[Any], dict] | None = None,
         decode: Callable[[dict], Any] | None = None,
+        preflight: Callable[[], "LintReport"] | None = None,
     ) -> RunOutcome:
         """Run (or reuse) one row; returns its :class:`RunOutcome`.
 
@@ -126,6 +130,12 @@ class ExperimentRunner:
         any per-row limit.  ``encode``/``decode`` convert the row value
         to/from a JSON-able dict for checkpointing; without them the raw
         value is stored (it must then be JSON-able itself).
+
+        ``preflight``, when given, produces a lint report for the row's
+        inputs *before* any compute budget is spent; a report with errors
+        turns the row into an ``error`` outcome carrying the structured
+        diagnostics — a malformed circuit becomes a visible verdict, not
+        a wrong number or a hung solver.
         """
         if faultinject.enabled:
             # deliberately outside the guarded region: an injected crash
@@ -137,6 +147,11 @@ class ExperimentRunner:
             if cached is not None:
                 self.rows_reused += 1
                 return cached
+
+        if preflight is not None:
+            failed = self._run_preflight(key, preflight)
+            if failed is not None:
+                return failed
 
         outcome = run_with_retry(
             compute,
@@ -158,6 +173,53 @@ class ExperimentRunner:
                     "elapsed_s": round(outcome.elapsed_s, 6),
                     "attempts": outcome.attempts,
                     "error": outcome.error,
+                },
+            )
+        return outcome
+
+    def _run_preflight(
+        self, key: str, preflight: Callable[[], "LintReport"]
+    ) -> RunOutcome | None:
+        """Lint the row's inputs; an error report becomes the row verdict.
+
+        Returns None when the row may proceed (clean report, or findings
+        below error severity).  A crashing preflight is itself an
+        ``error`` outcome — a checker that cannot even model the input is
+        the strongest possible pre-flight failure.
+        """
+        try:
+            report = preflight()
+        except Exception as exc:
+            outcome = RunOutcome(
+                RunStatus.ERROR,
+                error=f"lint preflight crashed: {exc}",
+                error_type=type(exc).__name__,
+            )
+        else:
+            if not report.has_errors:
+                return None
+            first = report.errors[0]
+            outcome = RunOutcome(
+                RunStatus.ERROR,
+                error=(
+                    f"lint preflight failed ({len(report.errors)} error(s); "
+                    f"first: {first.format()})"
+                ),
+                error_type="LintError",
+                diagnostics={"lint": [d.to_dict() for d in report.sorted()]},
+            )
+        self.rows_computed += 1
+        if self.store is not None:
+            self.store.save(
+                key,
+                {
+                    "fingerprint": self.fingerprint,
+                    "status": outcome.status.value,
+                    "row": None,
+                    "elapsed_s": 0.0,
+                    "attempts": 1,
+                    "error": outcome.error,
+                    "lint": outcome.diagnostics.get("lint", []),
                 },
             )
         return outcome

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from ..bench import PAPER_CIRCUITS, build_paper_circuit, scaled_key_size
 from ..orap import LFSRConfig
-from ..sim import measure_corruption
 from ..synth import measure_overhead
 from .common import format_table
 from .table1 import lock_for_table1

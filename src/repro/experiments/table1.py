@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
+from ..lint import lint_netlist
 from ..locking import WLLConfig, lock_weighted
 from ..orap import LFSRConfig
 from ..runtime.budget import Budget
@@ -160,8 +161,18 @@ def run_table1(
                 paper_delay=spec.delay_overhead_percent,
             )
 
+        def preflight(name=name):
+            return lint_netlist(
+                build_paper_circuit(name, scale=scale),
+                source=f"{name}@x{scale:g}",
+            )
+
         outcome = runner.run_row(
-            name, compute, encode=asdict, decode=lambda d: Table1Row(**d)
+            name,
+            compute,
+            encode=asdict,
+            decode=lambda d: Table1Row(**d),
+            preflight=preflight,
         )
         if outcome.value is not None:
             rows.append(outcome.value)

@@ -17,6 +17,7 @@ from dataclasses import asdict, dataclass
 
 from ..atpg import run_atpg
 from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
+from ..lint import lint_netlist
 from ..locking import WLLConfig, lock_weighted
 from ..runtime.budget import Budget
 from .common import DEFAULT_SCALE, format_table
@@ -100,8 +101,18 @@ def run_table2(
                 paper_red_abrt_protected=spec.red_abrt_protected,
             )
 
+        def preflight(name=name):
+            return lint_netlist(
+                build_paper_circuit(name, scale=scale),
+                source=f"{name}@x{scale:g}",
+            )
+
         outcome = runner.run_row(
-            name, compute, encode=asdict, decode=lambda d: Table2Row(**d)
+            name,
+            compute,
+            encode=asdict,
+            decode=lambda d: Table2Row(**d),
+            preflight=preflight,
         )
         if outcome.value is not None:
             rows.append(outcome.value)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-from ..threats import GE_NAND2_TO_NAND3, ThreatReport, ge, run_all_threats
+from ..threats import GE_NAND2_TO_NAND3, ge, run_all_threats
 from .attack_matrix import default_design
 from .common import format_table
 from .runner import ExperimentRunner, RunPolicy

@@ -1,0 +1,79 @@
+"""Static analysis over the repo's three IRs: netlists, schemes, CNF.
+
+A rule-registry lint subsystem (see :mod:`repro.lint.registry`): each
+rule is a decorated checker that yields structured
+:class:`~repro.lint.diagnostics.Diagnostic` records with a rule id,
+severity, object location, and a fix hint — plus file/line provenance
+when the subject came from a BENCH or Verilog file.
+
+Exposed as the ``repro lint`` CLI subcommand and as a cheap pre-flight
+hook inside :class:`repro.experiments.runner.ExperimentRunner` (a lint
+error turns the row into an ``error`` outcome instead of wasting a
+solver budget on a malformed circuit).
+"""
+
+from .api import (
+    DEFAULT_CONFIG,
+    lint_bench_path,
+    lint_bench_text,
+    lint_cnf,
+    lint_dimacs_path,
+    lint_locked,
+    lint_netlist,
+    lint_orap,
+    lint_paper_benchmarks,
+    lint_verilog_path,
+)
+from .cnf_rules import CnfSubject
+from .diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+    merge_reports,
+)
+from .netlist_rules import NetlistSubject
+from .registry import (
+    ANALYZERS,
+    LintConfig,
+    LintRule,
+    Waiver,
+    all_rules,
+    get_rule,
+    iter_catalog,
+    rule,
+    rules_for,
+    run_rules,
+)
+from .scheme_rules import SchemeSubject
+
+__all__ = [
+    "ANALYZERS",
+    "CnfSubject",
+    "DEFAULT_CONFIG",
+    "Diagnostic",
+    "LintConfig",
+    "LintReport",
+    "LintRule",
+    "Location",
+    "NetlistSubject",
+    "SchemeSubject",
+    "Severity",
+    "Waiver",
+    "all_rules",
+    "get_rule",
+    "iter_catalog",
+    "lint_bench_path",
+    "lint_bench_text",
+    "lint_cnf",
+    "lint_dimacs_path",
+    "lint_locked",
+    "lint_netlist",
+    "lint_orap",
+    "lint_paper_benchmarks",
+    "lint_verilog_path",
+    "merge_reports",
+    "rule",
+    "rules_for",
+    "run_rules",
+]

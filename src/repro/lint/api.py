@@ -1,0 +1,293 @@
+"""Analyzer drivers: turn repo objects and files into lint reports.
+
+Entry points, one per IR plus composites:
+
+* :func:`lint_netlist` — a :class:`~repro.netlist.Netlist` or
+  :class:`~repro.netlist.SequentialCircuit`;
+* :func:`lint_bench_text` / :func:`lint_bench_path` — BENCH source,
+  scanned tolerantly so *all* problems are reported (the strict parser
+  stops at the first);
+* :func:`lint_cnf` / :func:`lint_dimacs_path` — CNF formulas;
+* :func:`lint_locked` — a locked circuit (scheme + netlist rules);
+* :func:`lint_orap` — a full OraP design (orap + scheme + netlist rules);
+* :func:`lint_paper_benchmarks` — every bundled benchmark stand-in and
+  fixture, the corpus ``repro lint`` checks by default.
+
+``IO001`` is the one driver-level diagnostic: a file the strict parser
+cannot model at all (bad Verilog, unreadable DIMACS).  It is emitted
+directly rather than through the registry because no subject exists yet.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from ..locking import LockedCircuit
+from ..netlist import Netlist, NetlistError, SequentialCircuit
+from ..netlist.gates import BENCH_TYPES, GateType
+from ..orap.scheme import OraPDesign
+from ..sat.cnf import CNF
+from .cnf_rules import CnfSubject
+from .diagnostics import Diagnostic, LintReport, Location, Severity
+from .netlist_rules import _BENCH_DEF_RE, NetlistSubject
+from .registry import LintConfig, run_rules
+from .scheme_rules import SchemeSubject
+
+#: default config used when callers pass None
+DEFAULT_CONFIG = LintConfig()
+
+
+def _cfg(config: LintConfig | None) -> LintConfig:
+    return config if config is not None else DEFAULT_CONFIG
+
+
+# ------------------------------------------------------------------ #
+# netlist / sequential
+
+
+def _subject_of(
+    circuit: Netlist | SequentialCircuit, source: str = ""
+) -> NetlistSubject:
+    if isinstance(circuit, SequentialCircuit):
+        return NetlistSubject(
+            netlist=circuit.core,
+            source=source or circuit.name,
+            pseudo_inputs=frozenset(ff.q for ff in circuit.flops),
+            pseudo_outputs=frozenset(ff.d for ff in circuit.flops),
+        )
+    return NetlistSubject(netlist=circuit, source=source or circuit.name)
+
+
+def lint_netlist(
+    circuit: Netlist | SequentialCircuit,
+    source: str = "",
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Run the netlist analyzer over a circuit object."""
+    subject = _subject_of(circuit, source)
+    report = LintReport(subject=subject.source)
+    return run_rules("netlist", subject, _cfg(config), report)
+
+
+# ------------------------------------------------------------------ #
+# BENCH text (tolerant scan — keeps going where the parser raises)
+
+_IO_PREFIXES = ("INPUT(", "OUTPUT(")
+
+
+def _tolerant_bench_subject(text: str, source: str) -> NetlistSubject:
+    """Best-effort model of BENCH text for linting.
+
+    Unlike :func:`repro.netlist.parse_bench` this never raises: duplicate
+    drivers keep the first definition (NL011 reports the clash), unknown
+    operators drop the line (NL012 reports it), and structural problems
+    (cycles, undefined nets) are left in the model for the netlist rules
+    to find.  DFFs take the full-scan view: Q nets become pseudo inputs,
+    D nets pseudo outputs.
+    """
+    netlist = Netlist(Path(source).stem or "bench")
+    outputs: list[str] = []
+    flop_qs: list[str] = []
+    flop_ds: list[str] = []
+    provenance: dict[str, int] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith(_IO_PREFIXES) and ")" in line:
+            name = line[line.index("(") + 1 : line.rindex(")")].strip()
+            if not name:
+                continue
+            if upper.startswith("INPUT("):
+                if not netlist.has_net(name):
+                    netlist.add_input(name)
+                    provenance[name] = line_no
+            else:
+                outputs.append(name)
+                provenance.setdefault(name, line_no)
+            continue
+        m = _BENCH_DEF_RE.match(line)
+        if not m:
+            continue  # NL012 reports unparseable definitions from the text
+        lhs = m.group("lhs")
+        op = m.group("op").upper()
+        args_text = line[line.index("(") + 1 : line.rindex(")")] if ")" in line else ""
+        args = [a.strip() for a in args_text.split(",") if a.strip()]
+        if netlist.has_net(lhs):
+            continue  # NL011 reports the duplicate driver
+        provenance[lhs] = line_no
+        if op == "DFF":
+            netlist.add_input(lhs)
+            flop_qs.append(lhs)
+            if args:
+                flop_ds.append(args[0])
+            continue
+        gtype = BENCH_TYPES.get(op)
+        if gtype is None:
+            continue  # NL012 reports the unknown operator
+        try:
+            netlist.add_gate(lhs, gtype, args)
+        except (NetlistError, ValueError):
+            # arity violations (e.g. NOT with two inputs): model the net as
+            # a buffer of its first argument so downstream rules still run
+            if args:
+                netlist.add_gate(lhs, GateType.BUF, (args[0],))
+    netlist.set_outputs(outputs + [d for d in flop_ds if d not in outputs])
+    return NetlistSubject(
+        netlist=netlist,
+        source=source,
+        provenance=provenance,
+        pseudo_inputs=frozenset(flop_qs),
+        pseudo_outputs=frozenset(flop_ds),
+        bench_text=text,
+    )
+
+
+def lint_bench_text(
+    text: str, source: str = "<string>", config: LintConfig | None = None
+) -> LintReport:
+    """Lint BENCH source text (tolerant: reports every finding at once)."""
+    subject = _tolerant_bench_subject(text, source)
+    report = LintReport(subject=source)
+    return run_rules("netlist", subject, _cfg(config), report)
+
+
+def lint_bench_path(
+    path: str | Path, config: LintConfig | None = None
+) -> LintReport:
+    """Lint a BENCH file from disk."""
+    p = Path(path)
+    return lint_bench_text(p.read_text(), source=str(p), config=config)
+
+
+def lint_verilog_path(
+    path: str | Path, config: LintConfig | None = None
+) -> LintReport:
+    """Lint a structural Verilog file (strict parse, then netlist rules)."""
+    from ..netlist import load_verilog
+
+    p = Path(path)
+    report = LintReport(subject=str(p))
+    try:
+        circuit = load_verilog(p)
+    except NetlistError as exc:
+        line_no = getattr(exc, "line_no", 0)
+        report.add(
+            Diagnostic(
+                rule_id="IO001",
+                severity=Severity.ERROR,
+                message=f"cannot parse Verilog: {exc}",
+                location=Location(source=str(p), line_no=int(line_no)),
+            )
+        )
+        return report
+    return run_rules(
+        "netlist", _subject_of(circuit, str(p)), _cfg(config), report
+    )
+
+
+# ------------------------------------------------------------------ #
+# CNF
+
+
+def lint_cnf(
+    cnf: CNF,
+    key_vars: Sequence[int] = (),
+    source: str = "",
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Run the CNF analyzer over a formula."""
+    subject = CnfSubject(cnf=cnf, key_vars=tuple(key_vars), source=source)
+    report = LintReport(subject=source or "cnf")
+    return run_rules("cnf", subject, _cfg(config), report)
+
+
+def lint_dimacs_path(
+    path: str | Path, config: LintConfig | None = None
+) -> LintReport:
+    """Lint a DIMACS file from disk."""
+    p = Path(path)
+    report = LintReport(subject=str(p))
+    try:
+        cnf = CNF.from_dimacs(p.read_text())
+    except (ValueError, OSError) as exc:
+        report.add(
+            Diagnostic(
+                rule_id="IO001",
+                severity=Severity.ERROR,
+                message=f"cannot parse DIMACS: {exc}",
+                location=Location(source=str(p)),
+            )
+        )
+        return report
+    return run_rules(
+        "cnf", CnfSubject(cnf=cnf, source=str(p)), _cfg(config), report
+    )
+
+
+# ------------------------------------------------------------------ #
+# locking scheme / OraP composites
+
+
+def lint_locked(
+    locked: LockedCircuit, config: LintConfig | None = None
+) -> LintReport:
+    """Scheme rules plus netlist rules over the locked core."""
+    cfg = _cfg(config)
+    report = LintReport(subject=locked.locked.name)
+    run_rules("scheme", SchemeSubject(locked=locked), cfg, report)
+    run_rules("netlist", _subject_of(locked.locked), cfg, report)
+    return report
+
+
+def lint_orap(design: OraPDesign, config: LintConfig | None = None) -> LintReport:
+    """The full OraP pre-flight: orap + scheme + netlist analyzers."""
+    cfg = _cfg(config)
+    report = LintReport(subject=design.design.name)
+    run_rules("orap", design, cfg, report)
+    run_rules("scheme", SchemeSubject(locked=design.locked), cfg, report)
+    run_rules("netlist", _subject_of(design.design), cfg, report)
+    return report
+
+
+# ------------------------------------------------------------------ #
+# bundled corpus
+
+
+def lint_paper_benchmarks(
+    scale: float | None = None,
+    circuits: Sequence[str] | None = None,
+    config: LintConfig | None = None,
+    include_fixtures: bool = True,
+) -> list[LintReport]:
+    """Lint every bundled benchmark stand-in (and the genuine fixtures).
+
+    This is the corpus ``repro lint --benchmarks`` checks; the golden
+    test asserts it stays clean.
+    """
+    from ..bench import build_paper_circuit, PAPER_ORDER
+    from ..bench.fixtures import (
+        c17,
+        equality_checker,
+        majority,
+        mini_alu,
+        parity_tree,
+        ripple_adder,
+        s27_like,
+    )
+    from ..experiments.common import DEFAULT_SCALE
+
+    eff_scale = scale if scale is not None else DEFAULT_SCALE
+    reports: list[LintReport] = []
+    for name in circuits or PAPER_ORDER:
+        netlist = build_paper_circuit(name, scale=eff_scale)
+        reports.append(
+            lint_netlist(netlist, source=f"{name}@x{eff_scale:g}", config=config)
+        )
+    if include_fixtures:
+        for fixture in (c17(), ripple_adder(), equality_checker(), mini_alu(),
+                        parity_tree(), majority(), s27_like()):
+            reports.append(lint_netlist(fixture, config=config))
+    return reports

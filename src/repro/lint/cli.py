@@ -1,0 +1,170 @@
+"""``repro lint`` — the command-line face of the static analyzer.
+
+Kept separate from :mod:`repro.__main__` so the CLI glue is unit-testable
+without argparse and so the experiment runner can reuse
+:func:`lint_orap_chips` for its own pre-flight corpus.
+
+Exit codes follow compiler convention: 0 when no (non-waived) errors, 1
+when any subject has errors — or warnings under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence, TextIO
+
+from .api import (
+    lint_bench_path,
+    lint_dimacs_path,
+    lint_paper_benchmarks,
+    lint_orap,
+    lint_verilog_path,
+)
+from .diagnostics import Diagnostic, LintReport, Location, Severity
+from .registry import LintConfig, all_rules
+
+#: file suffix -> path linter
+_SUFFIX_LINTERS: dict[str, Callable[[Path, LintConfig | None], LintReport]] = {
+    ".bench": lint_bench_path,
+    ".v": lint_verilog_path,
+    ".cnf": lint_dimacs_path,
+    ".dimacs": lint_dimacs_path,
+}
+
+
+def lint_path(path: str | Path, config: LintConfig | None = None) -> LintReport:
+    """Dispatch one file to the right analyzer by suffix.
+
+    Unknown suffixes produce an ``IO001`` error report instead of raising,
+    so a mixed file list still yields one report per path.
+    """
+    p = Path(path)
+    linter = _SUFFIX_LINTERS.get(p.suffix.lower())
+    if linter is None:
+        report = LintReport(subject=str(p))
+        report.add(
+            Diagnostic(
+                rule_id="IO001",
+                severity=Severity.ERROR,
+                message=(
+                    f"unsupported file type {p.suffix!r} "
+                    f"(expected one of {sorted(_SUFFIX_LINTERS)})"
+                ),
+                location=Location(source=str(p)),
+            )
+        )
+        return report
+    if not p.exists():
+        report = LintReport(subject=str(p))
+        report.add(
+            Diagnostic(
+                rule_id="IO001",
+                severity=Severity.ERROR,
+                message="file does not exist",
+                location=Location(source=str(p)),
+            )
+        )
+        return report
+    return linter(p, config)
+
+
+def lint_orap_chips(
+    config: LintConfig | None = None, seed: int = 7
+) -> list[LintReport]:
+    """Protect a deterministic sequential design both ways and lint it.
+
+    This is the ``repro lint --orap`` corpus: one basic and one modified
+    OraP chip built from a generated scan design, exercising every orap
+    and scheme rule on a real :func:`~repro.orap.scheme.protect` output.
+    """
+    from ..bench import GeneratorConfig, SequentialConfig, generate_sequential
+    from ..locking import WLLConfig
+    from ..orap.scheme import OraPConfig, protect
+
+    seq = generate_sequential(
+        SequentialConfig(
+            comb=GeneratorConfig(
+                n_inputs=12,
+                n_outputs=20,
+                n_gates=150,
+                seed=seed,
+                name="orap_preflight",
+            ),
+            n_flops=8,
+        )
+    )
+    reports: list[LintReport] = []
+    for variant in ("basic", "modified"):
+        design = protect(
+            seq,
+            orap=OraPConfig(variant=variant),
+            wll=WLLConfig(key_width=16, n_key_gates=6),
+            rng=seed,
+        )
+        report = lint_orap(design, config)
+        report.subject = f"orap-{variant}({report.subject})"
+        reports.append(report)
+    return reports
+
+
+def catalog_text() -> str:
+    """The rule catalog as an aligned table (``repro lint --rules``)."""
+    rows = [(r.id, r.severity.value, r.analyzer, r.title) for r in all_rules()]
+    rows.insert(0, ("ID", "SEVERITY", "ANALYZER", "TITLE"))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = [
+        "  ".join(
+            [row[0].ljust(widths[0]), row[1].ljust(widths[1]), row[2].ljust(widths[2]), row[3]]
+        )
+        for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def run_lint(
+    paths: Sequence[str] = (),
+    benchmarks: bool = False,
+    orap: bool = False,
+    scale: float | None = None,
+    fmt: str = "text",
+    strict: bool = False,
+    show_info: bool = True,
+    list_rules: bool = False,
+    config: LintConfig | None = None,
+    out: TextIO | None = None,
+) -> int:
+    """Drive one lint invocation; returns the process exit code.
+
+    With neither paths nor corpus flags, the full default corpus runs
+    (bundled benchmarks, fixtures, and OraP chips) — the cheap "is this
+    checkout sane?" button.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    if list_rules:
+        print(catalog_text(), file=stream)
+        return 0
+
+    if not paths and not benchmarks and not orap:
+        benchmarks = orap = True
+
+    reports: list[LintReport] = []
+    for path in paths:
+        reports.append(lint_path(path, config))
+    if benchmarks:
+        reports.extend(lint_paper_benchmarks(scale=scale, config=config))
+    if orap:
+        reports.extend(lint_orap_chips(config))
+
+    if fmt == "json":
+        print(json.dumps([r.to_dict() for r in reports], indent=2), file=stream)
+    else:
+        for report in reports:
+            if len(report.active()) == 0:
+                print(f"{report.subject}: clean", file=stream)
+            else:
+                print(report.format(show_info=show_info), file=stream)
+    failed = any(not r.is_clean(strict=strict) for r in reports)
+    return 1 if failed else 0

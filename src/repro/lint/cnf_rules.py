@@ -1,0 +1,180 @@
+"""CNF analyzer: well-formedness of Tseitin encodings and DIMACS inputs.
+
+The SAT-attack stack assumes its formulas are well-formed: a literal
+outside the declared variable range corrupts watch lists, an empty clause
+makes the whole formula trivially UNSAT (the attack then "converges" to a
+wrong key in one iteration), and a key variable absent from every clause
+means the miter does not constrain that key bit at all.  These rules catch
+each of those before a solver spends hours on garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..sat.cnf import CNF
+from .diagnostics import Diagnostic, Location, Severity
+from .registry import LintConfig, rule
+
+
+@dataclass
+class CnfSubject:
+    """A formula prepared for the CNF analyzer.
+
+    Attributes:
+        cnf: the formula under analysis.
+        key_vars: miter key variables (enables ``CN006``); empty for
+            plain formulas.
+        source: provenance label (DIMACS path or encoder description).
+    """
+
+    cnf: CNF
+    key_vars: Sequence[int] = ()
+    source: str = ""
+
+    def loc(self, index: int) -> Location:
+        """Location of one clause by index."""
+        return Location(obj=f"clause[{index}]", source=self.source)
+
+
+@rule(
+    "CN001",
+    "literal-out-of-range",
+    Severity.ERROR,
+    "cnf",
+    "A literal outside [1, n_vars] (or a 0 literal) corrupts solver "
+    "watch lists; it only happens when n_vars and the clause list are "
+    "built out of sync.",
+)
+def check_literal_range(subject: CnfSubject, config: LintConfig) -> Iterator[Diagnostic]:
+    n = subject.cnf.n_vars
+    for i, clause in enumerate(subject.cnf.clauses):
+        bad = [lit for lit in clause if lit == 0 or abs(lit) > n]
+        if bad:
+            yield Diagnostic(
+                rule_id="CN001",
+                severity=Severity.ERROR,
+                message=(
+                    f"clause {i} holds out-of-range literal(s) "
+                    f"{bad[:4]} (n_vars={n})"
+                ),
+                location=subject.loc(i),
+                hint="allocate variables through CNF.new_var()",
+            )
+
+
+@rule(
+    "CN002",
+    "tautological-clause",
+    Severity.WARNING,
+    "cnf",
+    "A clause with x and -x is always true: dead weight that usually "
+    "means an encoding bug merged two polarities.",
+)
+def check_tautology(subject: CnfSubject, config: LintConfig) -> Iterator[Diagnostic]:
+    for i, clause in enumerate(subject.cnf.clauses):
+        lits = set(clause)
+        taut = sorted({abs(lit) for lit in lits if -lit in lits})
+        if taut:
+            yield Diagnostic(
+                rule_id="CN002",
+                severity=Severity.WARNING,
+                message=f"clause {i} is tautological on variable(s) {taut[:4]}",
+                location=subject.loc(i),
+                hint="drop the clause — it constrains nothing",
+            )
+
+
+@rule(
+    "CN003",
+    "duplicate-clause",
+    Severity.WARNING,
+    "cnf",
+    "Repeated clauses bloat the formula and slow BCP without adding "
+    "constraints; heavy duplication points at a double-encoded circuit.",
+)
+def check_duplicate_clause(
+    subject: CnfSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    seen: dict[frozenset[int], int] = {}
+    for i, clause in enumerate(subject.cnf.clauses):
+        key = frozenset(clause)
+        if key in seen:
+            yield Diagnostic(
+                rule_id="CN003",
+                severity=Severity.WARNING,
+                message=f"clause {i} duplicates clause {seen[key]}",
+                location=subject.loc(i),
+                hint="encode each circuit copy against fresh variables once",
+            )
+        else:
+            seen[key] = i
+
+
+@rule(
+    "CN004",
+    "duplicate-literal",
+    Severity.INFO,
+    "cnf",
+    "A repeated literal inside one clause is harmless but signals a "
+    "sloppy encoder (e.g. a gate with duplicate fan-in passed through).",
+)
+def check_duplicate_literal(
+    subject: CnfSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    for i, clause in enumerate(subject.cnf.clauses):
+        if len(set(clause)) != len(clause):
+            yield Diagnostic(
+                rule_id="CN004",
+                severity=Severity.INFO,
+                message=f"clause {i} repeats a literal: {list(clause)[:6]}",
+                location=subject.loc(i),
+            )
+
+
+@rule(
+    "CN005",
+    "empty-clause",
+    Severity.ERROR,
+    "cnf",
+    "An empty clause makes the formula UNSAT by construction — a SAT "
+    "attack then terminates instantly with a meaningless verdict.",
+)
+def check_empty_clause(subject: CnfSubject, config: LintConfig) -> Iterator[Diagnostic]:
+    for i, clause in enumerate(subject.cnf.clauses):
+        if len(clause) == 0:
+            yield Diagnostic(
+                rule_id="CN005",
+                severity=Severity.ERROR,
+                message=f"clause {i} is empty (formula is trivially UNSAT)",
+                location=subject.loc(i),
+                hint="an encoder emitted a contradiction — fix it upstream",
+            )
+
+
+@rule(
+    "CN006",
+    "key-variable-uncovered",
+    Severity.ERROR,
+    "cnf",
+    "A miter key variable appearing in no clause is unconstrained: the "
+    "SAT attack will report an arbitrary value for that key bit and "
+    "still claim success.",
+)
+def check_key_coverage(subject: CnfSubject, config: LintConfig) -> Iterator[Diagnostic]:
+    if not subject.key_vars:
+        return
+    used: set[int] = set()
+    for clause in subject.cnf.clauses:
+        for lit in clause:
+            used.add(abs(lit))
+    for kv in subject.key_vars:
+        if abs(kv) not in used:
+            yield Diagnostic(
+                rule_id="CN006",
+                severity=Severity.ERROR,
+                message=f"key variable {kv} appears in no clause",
+                location=Location(obj=f"var {kv}", source=subject.source),
+                hint="the miter must constrain every key bit it reports",
+            )

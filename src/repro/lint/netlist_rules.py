@@ -1,0 +1,487 @@
+"""Netlist analyzer: structural soundness rules over the gate-level IR.
+
+The rules work on a :class:`NetlistSubject` wrapper instead of the raw
+:class:`~repro.netlist.Netlist` because lint must keep going on inputs the
+strict model refuses — a netlist with undefined fan-ins or combinational
+cycles still deserves a complete report, not an exception after the first
+problem.  The wrapper therefore rebuilds fanout and reachability maps
+tolerantly (skipping undefined references) instead of calling
+:meth:`Netlist.topological_order`.
+
+Rule ids are ``NL0xx``; bench-text-level rules (``NL011``/``NL012``) live
+in :mod:`repro.lint.api` where the tolerant BENCH scan happens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..netlist import GateType, Netlist
+from .diagnostics import Diagnostic, Location, Severity
+from .registry import LintConfig, rule
+
+#: net names following the repo-wide key-input naming convention
+KEY_INPUT_RE = re.compile(r"^keyinput\d+(_\d+x)?$")
+
+
+@dataclass
+class NetlistSubject:
+    """A netlist plus optional bench provenance, prepared for linting.
+
+    Attributes:
+        netlist: the circuit under analysis (may be structurally broken).
+        source: provenance label (file path or synthetic name).
+        provenance: net name -> 1-based line number in ``source``.
+        pseudo_inputs: nets that look like dead inputs but are driven by
+            the sequential layer (flip-flop Q nets) — exempt from NL005.
+        pseudo_outputs: core outputs consumed by the sequential layer
+            (flip-flop D nets) — exempt from dead-net logic.
+        bench_text: raw BENCH source when the subject came from a file;
+            enables the text-level rules (NL011/NL012) that fire on input
+            the strict parser refuses to model at all.
+    """
+
+    netlist: Netlist
+    source: str = ""
+    provenance: Mapping[str, int] = field(default_factory=dict)
+    pseudo_inputs: frozenset[str] = frozenset()
+    pseudo_outputs: frozenset[str] = frozenset()
+    bench_text: str | None = None
+
+    def loc(self, net: str) -> Location:
+        """Location of a net, with file/line when provenance exists."""
+        return Location(
+            obj=net,
+            source=self.source,
+            line_no=int(self.provenance.get(net, 0)),
+        )
+
+    # -------------------------------------------------------------- #
+    # tolerant derived structure (never raises on broken netlists)
+
+    def fanout(self) -> dict[str, list[str]]:
+        """Net -> consumer gates, counting only defined nets."""
+        fan: dict[str, list[str]] = {n: [] for n in self.netlist.nets}
+        for g in self.netlist.gates():
+            for f in g.fanin:
+                if f in fan:
+                    fan[f].append(g.name)
+        return fan
+
+    def undefined_references(self) -> list[tuple[str, str]]:
+        """(gate, missing fan-in net) pairs."""
+        nl = self.netlist
+        return [
+            (g.name, f)
+            for g in nl.gates()
+            for f in g.fanin
+            if not nl.has_net(f)
+        ]
+
+    def find_cycle(self) -> list[str] | None:
+        """One combinational cycle as a closed net path, or None.
+
+        Iterative DFS over defined-fanin edges; returns the loop with its
+        first net repeated at the end (``[a, b, c, a]``).
+        """
+        nl = self.netlist
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in nl.nets}
+        parent: dict[str, str] = {}
+        for root in nl.nets:
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[str, Iterator[str]]] = [
+                (root, iter(nl.gate(root).fanin))
+            ]
+            color[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for f in it:
+                    if not nl.has_net(f):
+                        continue
+                    if color[f] == GREY:
+                        # close the loop: walk parents from node back to f
+                        loop = [node]
+                        cur = node
+                        while cur != f:
+                            cur = parent[cur]
+                            loop.append(cur)
+                        loop.reverse()
+                        return loop + [loop[0]]
+                    if color[f] == WHITE:
+                        color[f] = GREY
+                        parent[f] = node
+                        stack.append((f, iter(nl.gate(f).fanin)))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def reaches_input(self) -> set[str]:
+        """Nets whose cone contains at least one INPUT (BFS from inputs)."""
+        fan = self.fanout()
+        seen: set[str] = set()
+        stack = list(self.netlist.inputs)
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(fan.get(n, ()))
+        return seen
+
+
+# ------------------------------------------------------------------ #
+# rules
+
+
+@rule(
+    "NL001",
+    "combinational-cycle",
+    Severity.ERROR,
+    "netlist",
+    "A combinational loop makes simulation order-dependent and hangs "
+    "topological evaluation; cyclic locking must be declared explicitly.",
+)
+def check_cycle(subject: NetlistSubject, config: LintConfig) -> Iterator[Diagnostic]:
+    if subject.netlist.allow_cycles:
+        return  # deliberately cyclic (CycSAT workloads) — opted out
+    loop = subject.find_cycle()
+    if loop is not None:
+        shown = " -> ".join(loop[:9]) + (" ..." if len(loop) > 9 else "")
+        yield Diagnostic(
+            rule_id="NL001",
+            severity=Severity.ERROR,
+            message=f"combinational cycle: {shown}",
+            location=subject.loc(loop[0]),
+            hint="break the loop or construct the netlist with allow_cycles=True",
+        )
+
+
+@rule(
+    "NL002",
+    "undefined-fanin",
+    Severity.ERROR,
+    "netlist",
+    "A gate reading a net nobody drives evaluates garbage; the strict "
+    "model only reports the first such net, lint reports them all.",
+)
+def check_undefined_fanin(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    for gate_name, missing in subject.undefined_references():
+        yield Diagnostic(
+            rule_id="NL002",
+            severity=Severity.ERROR,
+            message=f"gate {gate_name!r} reads undefined net {missing!r}",
+            location=subject.loc(gate_name),
+            hint=f"define {missing!r} (INPUT or gate) or fix the reference",
+        )
+
+
+@rule(
+    "NL003",
+    "undriven-output",
+    Severity.ERROR,
+    "netlist",
+    "An OUTPUT naming a net with no driver silently reads as X; every "
+    "HD%% measured through it is meaningless.",
+)
+def check_undriven_output(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    nl = subject.netlist
+    for o in nl.outputs:
+        if not nl.has_net(o):
+            yield Diagnostic(
+                rule_id="NL003",
+                severity=Severity.ERROR,
+                message=f"output {o!r} is not a driven net",
+                location=subject.loc(o),
+                hint="drive the net or drop it from the output list",
+            )
+
+
+@rule(
+    "NL004",
+    "dead-net",
+    Severity.WARNING,
+    "netlist",
+    "Logic feeding nothing inflates gate counts (and therefore the "
+    "paper's overhead percentages) without affecting any output.",
+)
+def check_dead_net(subject: NetlistSubject, config: LintConfig) -> Iterator[Diagnostic]:
+    nl = subject.netlist
+    fan = subject.fanout()
+    outputs = set(nl.outputs) | subject.pseudo_outputs
+    for g in nl.gates():
+        if g.gtype is GateType.INPUT:
+            continue  # NL005 owns inputs
+        if g.name in outputs or fan[g.name]:
+            continue
+        yield Diagnostic(
+            rule_id="NL004",
+            severity=Severity.WARNING,
+            message=f"net {g.name!r} ({g.gtype.value}) drives nothing",
+            location=subject.loc(g.name),
+            hint="prune_dangling() removes dead cones",
+        )
+
+
+@rule(
+    "NL005",
+    "unused-input",
+    Severity.WARNING,
+    "netlist",
+    "A primary input feeding no gate cannot influence any output — "
+    "usually a generator or locking bug (e.g. an orphaned key input).",
+)
+def check_unused_input(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    nl = subject.netlist
+    fan = subject.fanout()
+    outputs = set(nl.outputs) | subject.pseudo_outputs
+    for i in nl.inputs:
+        if i in subject.pseudo_inputs:
+            continue  # flop Q nets may legitimately be observe-only
+        if fan[i] or i in outputs:
+            continue
+        yield Diagnostic(
+            rule_id="NL005",
+            severity=Severity.WARNING,
+            message=f"primary input {i!r} feeds no gate and no output",
+            location=subject.loc(i),
+            hint="drop the input or wire it into the logic",
+        )
+
+
+@rule(
+    "NL006",
+    "duplicate-fanin",
+    Severity.WARNING,
+    "netlist",
+    "A gate listing the same net twice is degenerate (XOR(a,a)=0, "
+    "AND(a,a)=a) — almost always a netlist-construction slip.",
+)
+def check_duplicate_fanin(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    for g in subject.netlist.gates():
+        if g.gtype is GateType.MUX:
+            continue  # MUX(s, a, a) is a legal (if odd) constant-select
+        dupes = {f for f in g.fanin if g.fanin.count(f) > 1}
+        if dupes:
+            yield Diagnostic(
+                rule_id="NL006",
+                severity=Severity.WARNING,
+                message=(
+                    f"gate {g.name!r} ({g.gtype.value}) repeats fan-in "
+                    f"{sorted(dupes)}"
+                ),
+                location=subject.loc(g.name),
+                hint="deduplicate the fan-in list or simplify the gate",
+            )
+
+
+@rule(
+    "NL007",
+    "constant-output",
+    Severity.WARNING,
+    "netlist",
+    "An output with no primary input in its cone is stuck at a constant; "
+    "it dilutes Hamming-distance and fault-coverage measurements.",
+)
+def check_constant_output(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    nl = subject.netlist
+    if not nl.inputs:
+        return  # fully constant blocks are out of scope
+    reachable = subject.reaches_input()
+    for o in nl.outputs:
+        if nl.has_net(o) and o not in reachable:
+            yield Diagnostic(
+                rule_id="NL007",
+                severity=Severity.WARNING,
+                message=f"output {o!r} depends on no primary input",
+                location=subject.loc(o),
+                hint="constant-fold the cone away or drop the output",
+            )
+
+
+@rule(
+    "NL008",
+    "key-input-convention",
+    Severity.ERROR,
+    "netlist",
+    "Nets named keyinput<i> are the repo-wide key-bit convention; a "
+    "key-named net that is not a primary input breaks every attack's "
+    "key-input discovery.",
+)
+def check_key_convention(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    nl = subject.netlist
+    inputs = set(nl.inputs)
+    for g in nl.gates():
+        if KEY_INPUT_RE.match(g.name) and g.name not in inputs:
+            yield Diagnostic(
+                rule_id="NL008",
+                severity=Severity.ERROR,
+                message=(
+                    f"net {g.name!r} follows the key-input naming convention "
+                    f"but is driven by a {g.gtype.value} gate"
+                ),
+                location=subject.loc(g.name),
+                hint="rename the internal net or make it a primary input",
+            )
+
+
+@rule(
+    "NL009",
+    "fanout-anomaly",
+    Severity.INFO,
+    "netlist",
+    "A net with extreme fanout dominates simulation cost and usually "
+    "signals a collapsed or miswired benchmark.",
+)
+def check_fanout_anomaly(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    fan = subject.fanout()
+    for net, sinks in fan.items():
+        if len(sinks) > config.max_fanout:
+            yield Diagnostic(
+                rule_id="NL009",
+                severity=Severity.INFO,
+                message=(
+                    f"net {net!r} fans out to {len(sinks)} gates "
+                    f"(threshold {config.max_fanout})"
+                ),
+                location=subject.loc(net),
+                hint="buffer the net or raise LintConfig.max_fanout",
+            )
+
+
+@rule(
+    "NL010",
+    "depth-anomaly",
+    Severity.INFO,
+    "netlist",
+    "Logic depth approaching the gate count means the circuit is a "
+    "chain; benchmark stand-ins should look like circuits, not shift "
+    "registers.",
+)
+def check_depth_anomaly(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    nl = subject.netlist
+    # depth requires an evaluable netlist; skip when other rules already fire
+    if subject.undefined_references() or (
+        not nl.allow_cycles and subject.find_cycle() is not None
+    ):
+        return
+    n_gates = nl.num_gates()
+    if n_gates < 32:
+        return  # tiny fixtures (adders, parity trees) are legitimately chain-like
+    depth = nl.depth()
+    if depth > config.depth_ratio * n_gates:
+        yield Diagnostic(
+            rule_id="NL010",
+            severity=Severity.INFO,
+            message=(
+                f"logic depth {depth} exceeds {config.depth_ratio:.0%} of "
+                f"the gate count ({n_gates})"
+            ),
+            location=Location(obj=nl.name, source=subject.source),
+            hint="regenerate with a wider/shallower GeneratorConfig",
+        )
+
+
+# ------------------------------------------------------------------ #
+# BENCH-text rules: fire on raw source, so they still report on input
+# the strict parser rejects outright
+
+_BENCH_DEF_RE = re.compile(
+    r"^\s*(?P<lhs>[\w.\[\]$/]+)\s*=\s*(?P<op>\w+)\s*\("
+)
+
+
+@rule(
+    "NL011",
+    "multiply-driven-net",
+    Severity.ERROR,
+    "netlist",
+    "Two drivers on one net is the classic hand-edited-BENCH bug; the "
+    "parser keeps only the first and the simulation silently diverges "
+    "from the tool that kept the last.",
+)
+def check_multiply_driven(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    if subject.bench_text is None:
+        return
+    defined: dict[str, int] = {}
+    for line_no, raw in enumerate(subject.bench_text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        m = _BENCH_DEF_RE.match(line)
+        lhs: str | None = None
+        if m:
+            lhs = m.group("lhs")
+        elif line.upper().startswith("INPUT(") and ")" in line:
+            lhs = line[line.index("(") + 1 : line.rindex(")")].strip()
+        if not lhs:
+            continue
+        if lhs in defined:
+            yield Diagnostic(
+                rule_id="NL011",
+                severity=Severity.ERROR,
+                message=(
+                    f"net {lhs!r} is driven here and on line {defined[lhs]}"
+                ),
+                location=Location(obj=lhs, source=subject.source, line_no=line_no),
+                hint="a net may have exactly one driver",
+            )
+        else:
+            defined[lhs] = line_no
+
+
+@rule(
+    "NL012",
+    "unknown-gate-op",
+    Severity.ERROR,
+    "netlist",
+    "An operator outside the BENCH dialect (typo'd NAND, vendor cell "
+    "name) means the line was dropped and the netlist is incomplete.",
+)
+def check_unknown_op(
+    subject: NetlistSubject, config: LintConfig
+) -> Iterator[Diagnostic]:
+    if subject.bench_text is None:
+        return
+    from ..netlist.gates import BENCH_TYPES
+
+    known = set(BENCH_TYPES) | {"DFF"}
+    for line_no, raw in enumerate(subject.bench_text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        m = _BENCH_DEF_RE.match(line)
+        if not m:
+            continue
+        op = m.group("op").upper()
+        if op not in known:
+            yield Diagnostic(
+                rule_id="NL012",
+                severity=Severity.ERROR,
+                message=f"unknown BENCH gate type {op!r}",
+                location=Location(
+                    obj=m.group("lhs"), source=subject.source, line_no=line_no
+                ),
+                hint=f"supported: {', '.join(sorted(known))}",
+            )

@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
-import numpy as np
 
 from ..netlist import Netlist
 from ..sim import BitSimulator, popcount_words, random_words, tail_mask

@@ -19,7 +19,7 @@ participation of LFSR cells in the chains) is layered on top of this model in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from .netlist import Netlist, NetlistError
 

@@ -6,6 +6,10 @@ continuous assigns of constants / identity / ternary muxes, and the
 behavioural scan-flop always-blocks produced by
 :func:`repro.netlist.verilog_io.write_verilog`.  That is exactly enough
 for round-tripping locked designs through the Verilog handoff format.
+
+Malformed input raises :class:`~repro.netlist.bench_io.NetlistFormatError`
+with file/line context — the same error contract as the BENCH reader, so
+callers (and ``repro lint``) report both formats uniformly.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
+from .bench_io import NetlistFormatError
 from .gates import GateType
 from .netlist import Netlist, NetlistError
 from .sequential import FlipFlop, SequentialCircuit
@@ -40,6 +45,8 @@ _FF_RE = re.compile(
     r"^(\S+)_state\s*<=\s*scan_enable\s*\?\s*(\S+)\s*:\s*(\S+)$"
 )
 
+_ALWAYS_HEADER = "always @(posedge clk)"
+
 
 def _unescape(token: str) -> str:
     token = token.strip()
@@ -48,33 +55,66 @@ def _unescape(token: str) -> str:
     return token
 
 
-def parse_verilog(text: str, name: str | None = None) -> SequentialCircuit:
+def parse_verilog(
+    text: str, name: str | None = None, source: str | None = None
+) -> SequentialCircuit:
     """Parse structural Verilog into a sequential circuit.
 
-    Combinational modules come back with an empty flop list.
+    Combinational modules come back with an empty flop list.  Malformed
+    input raises :class:`NetlistFormatError` naming ``source`` (defaults
+    to the module name) and the offending line.
     """
+    src = source if source is not None else (name or "<verilog>")
+
+    def fail(
+        message: str, line_no: int = 0, line: str = ""
+    ) -> NetlistFormatError:
+        return NetlistFormatError(message, source=src, line_no=line_no, line=line)
+
     m = _MODULE_RE.search(text)
     if not m:
-        raise NetlistError("no module found")
+        raise fail("no module found")
     mod_name = name or _unescape(m.group(1))
-    body = text[m.end():]
-    end = body.find("endmodule")
+    body_start = m.end()
+    end = text.find("endmodule", body_start)
     if end < 0:
-        raise NetlistError("missing endmodule")
-    body = body[:end]
+        raise fail("missing endmodule")
+    body = text[body_start:end]
 
     core = Netlist(mod_name)
     outputs: list[str] = []
     scan_ports = {"clk", "scan_enable", "scan_in", "scan_out"}
     ff_updates: dict[str, tuple[str, str]] = {}  # state reg -> (prev, d)
-    ff_q_assign: dict[str, str] = {}  # q net -> state reg
-    pending_assigns: list[tuple[str, str]] = []
+    ff_q_assign: dict[str, tuple[str, int]] = {}  # q net -> (state reg, line)
 
-    # join continued lines on ';' boundaries, strip the always headers
-    cleaned = body.replace("always @(posedge clk)", ";")
-    statements = [s.strip() for s in cleaned.split(";") if s.strip()]
-    for stmt in statements:
+    # strip the always headers with same-length padding so every statement
+    # offset (and therefore every reported line number) stays exact
+    cleaned = body.replace(_ALWAYS_HEADER, ";" + " " * (len(_ALWAYS_HEADER) - 1))
+
+    # split on ';' keeping each statement's offset into the body
+    statements: list[tuple[int, str]] = []
+    pos = 0
+    for chunk in cleaned.split(";"):
+        stripped = chunk.strip()
+        if stripped:
+            statements.append((pos + chunk.index(stripped[0]), stripped))
+        pos += len(chunk) + 1
+
+    def line_of(offset: int) -> int:
+        return text.count("\n", 0, body_start + offset) + 1
+
+    pending_assigns: list[tuple[str, str, int, str]] = []
+
+    for offset, stmt in statements:
         stmt = " ".join(stmt.split())
+        line_no = line_of(offset)
+
+        def define(net: str, gtype: GateType, fanin: tuple[str, ...]) -> None:
+            try:
+                core.add_gate(net, gtype, fanin)
+            except NetlistError as exc:
+                raise fail(str(exc), line_no, stmt) from exc
+
         decl = _DECL_RE.match(stmt)
         if decl:
             kind, names = decl.groups()
@@ -83,7 +123,10 @@ def parse_verilog(text: str, name: str | None = None) -> SequentialCircuit:
                 if not net or net in scan_ports:
                     continue
                 if kind == "input":
-                    core.add_input(net)
+                    try:
+                        core.add_input(net)
+                    except NetlistError as exc:
+                        raise fail(str(exc), line_no, stmt) from exc
                 elif kind == "output":
                     outputs.append(net)
             continue
@@ -91,14 +134,14 @@ def parse_verilog(text: str, name: str | None = None) -> SequentialCircuit:
         if cm:
             net, bit = _unescape(cm.group(1)), cm.group(2)
             if net not in scan_ports:
-                core.add_gate(
+                define(
                     net, GateType.CONST1 if bit == "1" else GateType.CONST0, ()
                 )
             continue
         mm = _ASSIGN_MUX_RE.match(stmt)
         if mm:
             y, s, d1, d0 = (_unescape(t) for t in mm.groups())
-            core.add_gate(y, GateType.MUX, (s, d0, d1))
+            define(y, GateType.MUX, (s, d0, d1))
             continue
         fm = _FF_RE.match(stmt)
         if fm:
@@ -107,13 +150,13 @@ def parse_verilog(text: str, name: str | None = None) -> SequentialCircuit:
             continue
         wm = _ASSIGN_WIRE_RE.match(stmt)
         if wm:
-            y, src = _unescape(wm.group(1)), _unescape(wm.group(2))
+            y, rhs = _unescape(wm.group(1)), _unescape(wm.group(2))
             if y in scan_ports:
                 continue
-            if src.endswith("_state"):
-                ff_q_assign[y] = src[: -len("_state")]
+            if rhs.endswith("_state"):
+                ff_q_assign[y] = (rhs[: -len("_state")], line_no)
             else:
-                pending_assigns.append((y, src))
+                pending_assigns.append((y, rhs, line_no, stmt))
             continue
         im = _INST_RE.match(stmt)
         if im:
@@ -121,22 +164,28 @@ def parse_verilog(text: str, name: str | None = None) -> SequentialCircuit:
             if prim in _PRIMITIVES:
                 nets = [_unescape(a) for a in args.split(",")]
                 out, fins = nets[0], nets[1:]
-                core.add_gate(out, _PRIMITIVES[prim], tuple(fins))
+                define(out, _PRIMITIVES[prim], tuple(fins))
                 continue
         # `reg x_state` declarations and anything scan-infrastructure
         if stmt.startswith("reg ") or any(p in stmt for p in scan_ports):
             continue
-        raise NetlistError(f"unsupported Verilog statement: {stmt!r}")
+        raise fail(f"unsupported Verilog statement: {stmt!r}", line_no, stmt)
 
-    for y, src in pending_assigns:
-        core.add_gate(y, GateType.BUF, (src,))
+    for y, rhs, line_no, stmt in pending_assigns:
+        try:
+            core.add_gate(y, GateType.BUF, (rhs,))
+        except NetlistError as exc:
+            raise fail(str(exc), line_no, stmt) from exc
 
     flops: list[FlipFlop] = []
-    for q, reg in ff_q_assign.items():
+    for q, (reg, line_no) in ff_q_assign.items():
         if reg not in ff_updates:
-            raise NetlistError(f"flop state {reg!r} has no always block")
+            raise fail(f"flop state {reg!r} has no always block", line_no)
         _, d = ff_updates[reg]
-        core.add_input(q)
+        try:
+            core.add_input(q)
+        except NetlistError as exc:
+            raise fail(str(exc), line_no) from exc
         flops.append(FlipFlop(reg, d=d, q=q))
     core.set_outputs(outputs + [ff.d for ff in flops if ff.d not in outputs])
     circuit = SequentialCircuit(core, name=mod_name)
@@ -144,11 +193,17 @@ def parse_verilog(text: str, name: str | None = None) -> SequentialCircuit:
         circuit.add_flop(ff)
     if flops:
         circuit.build_scan_chains(1)
-    circuit.validate()
+    try:
+        circuit.validate()
+    except NetlistError as exc:
+        raise fail(str(exc)) from exc
     return circuit
 
 
 def load_verilog(path: str | Path) -> SequentialCircuit:
-    """Parse structural Verilog from a file."""
+    """Parse structural Verilog from a file.
+
+    Errors are :class:`NetlistFormatError` naming the file path and line.
+    """
     p = Path(path)
-    return parse_verilog(p.read_text(), name=p.stem)
+    return parse_verilog(p.read_text(), name=p.stem, source=str(p))

@@ -22,7 +22,7 @@ fabricated-with-Trojan chip would.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..locking import LockedCircuit

@@ -19,7 +19,7 @@ what the XOR-tree payload cost is computed from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from .gf2 import popcount

@@ -12,7 +12,7 @@ modified scheme where functional-flip-flop responses co-drive the LFSR.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from .gf2 import gf2_solve

@@ -30,7 +30,7 @@ class CNF:
 
     def add_clause(self, literals: Iterable[int]) -> None:
         """Append one clause (DIMACS literals)."""
-        clause = tuple(int(l) for l in literals)
+        clause = tuple(int(lit) for lit in literals)
         for lit in clause:
             if lit == 0:
                 raise ValueError("0 is not a valid DIMACS literal")
@@ -63,7 +63,7 @@ class CNF:
         """Serialize to DIMACS text."""
         lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
         for clause in self.clauses:
-            lines.append(" ".join(str(l) for l in clause) + " 0")
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
         return "\n".join(lines) + "\n"
 
     def save_dimacs(self, path: str | Path) -> None:
@@ -102,7 +102,7 @@ class CNF:
 def evaluate_clause(clause: Sequence[int], assignment: dict[int, bool]) -> bool:
     """True if the clause is satisfied under a (complete) assignment."""
     return any(
-        assignment.get(abs(l), False) == (l > 0) for l in clause
+        assignment.get(abs(lit), False) == (lit > 0) for lit in clause
     )
 
 

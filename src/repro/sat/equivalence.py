@@ -89,7 +89,7 @@ def check_equivalence(
     Returns ``(equivalent, counterexample)`` where the counterexample maps
     shared-input names to values when inequivalent.
     """
-    from ..synth.aig import AIG, FALSE_LIT, lit_compl, lit_node, lit_not
+    from ..synth.aig import AIG, FALSE_LIT, lit_compl, lit_node
     from ..synth.convert import netlist_to_aig
 
     a2 = _with_fixed(a, dict(fixed_a or {}))

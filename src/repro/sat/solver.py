@@ -424,7 +424,7 @@ class Solver:
 
     def _reduce_db(self) -> None:
         """Throw away the less active half of the learned clauses."""
-        locked = {self._reason[l >> 1] for l in self._trail if self._reason[l >> 1]}
+        locked = {self._reason[t >> 1] for t in self._trail if self._reason[t >> 1]}
         self._learned.sort(key=lambda c: c.activity)
         keep_from = len(self._learned) // 2
         removed = []
@@ -487,7 +487,7 @@ class Solver:
             return SolveResult(False, None, **stats())
         for lit in assumptions:
             self.ensure_vars(abs(lit))
-        iassumps = [_lit_to_internal(l) for l in assumptions]
+        iassumps = [_lit_to_internal(lit) for lit in assumptions]
         self._backtrack(0)
         if self._propagate() is not None:
             self._ok = False

@@ -26,7 +26,6 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from ..netlist import GateType, Netlist
 from ..sim import BitSimulator, popcount_words, random_words

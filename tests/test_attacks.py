@@ -6,13 +6,11 @@ from repro.attacks import (
     AppSATConfig,
     BypassConfig,
     CountingOracle,
-    DoubleDIPConfig,
     HillClimbConfig,
     IdealOracle,
     OracleBudgetExceeded,
     SATAttackConfig,
     ScanOracle,
-    SensitizationConfig,
     appsat_attack,
     bypass_attack,
     doubledip_attack,

@@ -89,7 +89,7 @@ class TestCycSAT:
             key_vars[k]: bool(v) for k, v in cyclic.correct_key.items()
         }
         for clause in clauses:
-            assert any(model[abs(l)] == (l > 0) for l in clause)
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
 
     def test_cycsat_recovers_valid_key(self, cyclic):
         res = cycsat_attack(

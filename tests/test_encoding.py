@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 
 from repro.attacks.encoding import AIGEncoder
 from repro.bench import GeneratorConfig, c17, generate_netlist, ripple_adder
@@ -88,7 +87,7 @@ class TestAIGEncoder:
         enc = AIGEncoder(solver)
         in_lits = {name: enc.fresh_pi(name) for name in nl.inputs}
         outs = enc.encode_netlist(nl, in_lits)
-        out_sat = {o: enc.sat_literal(l) for o, l in outs.items()}
+        out_sat = {o: enc.sat_literal(ol) for o, ol in outs.items()}
         rng = random.Random(0)
         for _ in range(25):
             asg = {i: rng.randrange(2) for i in nl.inputs}

@@ -9,12 +9,10 @@ import pytest
 from repro.experiments import (
     format_table,
     paper_reference_payloads,
-    print_attack_matrix,
     print_protocol,
     print_table1,
     print_table2,
     print_trojan_table,
-    run_attack_matrix,
     run_protocol_checks,
     run_table1,
     run_table2,
@@ -185,7 +183,8 @@ class TestHDSaturation:
         from repro.experiments import saturation_point
         from repro.experiments.hd_saturation import HDPoint
 
-        mk = lambda n, hd: HDPoint("c", n, hd, 1.0)
+        def mk(n, hd):
+            return HDPoint("c", n, hd, 1.0)
         # one dip then strong growth: must NOT fire at the dip
         pts = [mk(1, 39.0), mk(2, 31.0), mk(4, 45.0), mk(8, 45.2), mk(16, 45.3)]
         stop = saturation_point(pts)

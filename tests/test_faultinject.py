@@ -27,7 +27,7 @@ from repro.bench import (
 )
 from repro.locking import WLLConfig, lock_cyclic, lock_random
 from repro.orap import OraPConfig, protect
-from repro.runtime import Budget, DeadlineExpired, faultinject
+from repro.runtime import Budget, faultinject
 from repro.runtime.faultinject import InjectedFault
 from repro.runtime.outcome import RunStatus, run_guarded
 from repro.sat import CNF, Solver

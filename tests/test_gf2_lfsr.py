@@ -104,50 +104,50 @@ class TestLFSRStructure:
 class TestLFSRBehaviour:
     def test_clear(self):
         cfg = LFSRConfig(size=6)
-        l = LFSR(cfg, [1, 0, 1, 1, 0, 1])
-        l.clear()
-        assert l.state == [0] * 6
+        lfsr = LFSR(cfg, [1, 0, 1, 1, 0, 1])
+        lfsr.clear()
+        assert lfsr.state == [0] * 6
 
     def test_shift_moves_bits(self):
         cfg = LFSRConfig(size=4, taps=(1,), reseed_points=(0,))
-        l = LFSR(cfg, [1, 0, 0, 0])
-        l.step([0])
+        lfsr = LFSR(cfg, [1, 0, 0, 0])
+        lfsr.step([0])
         # feedback = old state[3] = 0; shift: [0, 1^0, 0, 0]
-        assert l.state == [0, 1, 0, 0]
+        assert lfsr.state == [0, 1, 0, 0]
 
     def test_feedback_wraps_and_taps(self):
         cfg = LFSRConfig(size=4, taps=(2,), reseed_points=(0,))
-        l = LFSR(cfg, [0, 0, 0, 1])
-        l.step([0])
+        lfsr = LFSR(cfg, [0, 0, 0, 1])
+        lfsr.step([0])
         # fb = 1 -> cell0 = 1; cell2 = old cell1 ^ fb = 1
-        assert l.state == [1, 0, 1, 0]
+        assert lfsr.state == [1, 0, 1, 0]
 
     def test_seed_injection(self):
         cfg = LFSRConfig(size=4, taps=(1,), reseed_points=(0, 2))
-        l = LFSR(cfg)
-        l.step([1, 1])
-        assert l.state == [1, 0, 1, 0]
+        lfsr = LFSR(cfg)
+        lfsr.step([1, 1])
+        assert lfsr.state == [1, 0, 1, 0]
 
     def test_wrong_seed_width_rejected(self):
-        l = LFSR(LFSRConfig(size=4))
+        lfsr = LFSR(LFSRConfig(size=4))
         with pytest.raises(ValueError):
-            l.step([1])
+            lfsr.step([1])
 
     def test_no_feedback_mode(self):
         cfg = LFSRConfig(size=4, taps=(1,), feedback=False)
-        l = LFSR(cfg, [0, 0, 0, 1])
-        l.step([0, 0, 0, 0])
-        assert l.state == [0, 0, 0, 0]  # bit fell off the end
+        lfsr = LFSR(cfg, [0, 0, 0, 1])
+        lfsr.step([0, 0, 0, 0])
+        assert lfsr.state == [0, 0, 0, 0]  # bit fell off the end
 
     def test_zero_state_stays_zero_on_free_run(self):
-        l = LFSR(LFSRConfig(size=8))
-        l.step(None)
-        assert l.state == [0] * 8
+        lfsr = LFSR(LFSRConfig(size=8))
+        lfsr.step(None)
+        assert lfsr.state == [0] * 8
 
     def test_run_applies_sequence(self):
         cfg = LFSRConfig(size=4, taps=(1,), reseed_points=(0,))
-        l = LFSR(cfg)
-        final = l.run([[1], None, None])
+        lfsr = LFSR(cfg)
+        final = lfsr.run([[1], None, None])
         l2 = LFSR(cfg)
         l2.step([1])
         l2.step(None)

@@ -98,28 +98,40 @@ def test_act3_sat_attack_outcomes(story):
 
 def test_act4_trojan_escalation_and_fig3(story):
     basic, modified = story
-    rng = random.Random(5)
-    state = {ff.name: rng.randrange(2) for ff in basic.design.flops}
-    pi = {p: rng.randrange(2) for p in basic.chip.primary_inputs}
 
-    def truth(d):
+    def vector(seed, d):
+        rng = random.Random(seed)
+        state = {ff.name: rng.randrange(2) for ff in d.design.flops}
+        pi = {p: rng.randrange(2) for p in d.chip.primary_inputs}
+        return pi, state
+
+    def truth(d, pi, state):
         asg = dict(pi)
         asg.update(d.locked.correct_key)
         for ff in d.design.flops:
             asg[ff.q] = state[ff.name]
         return d.design.core.evaluate(asg)
 
-    # the cheap freeze Trojan (threat e) beats the basic scheme...
-    po, captured, chip = execute_freeze_attack(basic, pi, state)
-    t = truth(basic)
-    assert all(po[o] == t[o] for o in chip.primary_outputs)
-    # ...and is defeated by the modified scheme of Fig. 3
-    po_m, captured_m, chip_m = execute_freeze_attack(modified, pi, state)
-    t_m = truth(modified)
-    wrong = any(po_m[o] != t_m[o] for o in chip_m.primary_outputs) or any(
-        captured_m[ff.name] != t_m[ff.d] for ff in modified.design.flops
-    )
-    assert wrong
+    # WLL corrupts each pattern only with probability ~1-(1-2^-w)^g, so
+    # judge both schemes over a deterministic batch of random vectors
+    defeated = 0
+    for seed in range(10):
+        pi, state = vector(seed, basic)
+        # the cheap freeze Trojan (threat e) beats the basic scheme on
+        # every single vector: the frozen key register holds the real key
+        po, captured, chip = execute_freeze_attack(basic, pi, state)
+        t = truth(basic, pi, state)
+        assert all(po[o] == t[o] for o in chip.primary_outputs)
+        # ...while the modified scheme of Fig. 3 leaves the attacker with
+        # a locked core, which must corrupt some of the batch
+        po_m, captured_m, chip_m = execute_freeze_attack(modified, pi, state)
+        t_m = truth(modified, pi, state)
+        defeated += any(
+            po_m[o] != t_m[o] for o in chip_m.primary_outputs
+        ) or any(
+            captured_m[ff.name] != t_m[ff.d] for ff in modified.design.flops
+        )
+    assert defeated > 0
 
 
 def test_act5_modified_unlocks_depend_on_responses(story):

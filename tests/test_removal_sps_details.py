@@ -3,11 +3,10 @@
 import pytest
 
 from repro.attacks import (
-    RemovalCandidate,
     find_removal_candidates,
     find_skewed_nets,
 )
-from repro.bench import GeneratorConfig, c17, generate_netlist
+from repro.bench import GeneratorConfig, generate_netlist
 from repro.locking import WLLConfig, lock_antisat, lock_sarlock, lock_weighted
 from repro.netlist import GateType, Netlist
 

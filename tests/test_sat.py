@@ -153,7 +153,7 @@ class TestSolverExhaustive:
         cnf.n_vars = nv
         for _ in range(nc):
             lits = rng.sample(range(1, nv + 1), k=min(3, nv))
-            cnf.add_clause([l if rng.random() < 0.5 else -l for l in lits])
+            cnf.add_clause([lit if rng.random() < 0.5 else -lit for lit in lits])
         res = solve_cnf(cnf)
         brute = any(
             evaluate_cnf(cnf, {v: bool((m >> (v - 1)) & 1) for v in range(1, nv + 1)})

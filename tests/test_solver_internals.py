@@ -112,7 +112,7 @@ class TestModelCompleteness:
         cnf.n_vars = nv
         for _ in range(20):
             lits = rng.sample(range(1, nv + 1), 3)
-            cnf.add_clause([l if rng.random() < 0.5 else -l for l in lits])
+            cnf.add_clause([lit if rng.random() < 0.5 else -lit for lit in lits])
         r = solve_cnf(cnf)
         if r.sat:
             assert set(r.model) == set(range(1, nv + 1))

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.atpg import (
-    Fault,
     apply_test_program,
     build_test_program,
     chip_with_defect,
