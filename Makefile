@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev lint test verify-fast verify-robust bench experiments examples clean
+.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke experiments examples clean
 
 install:
 	pip install -e .
@@ -37,6 +37,16 @@ verify-robust:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# compiled op-tape engine vs scalar simulation on the Table I workload;
+# writes BENCH_sim.json (see docs/PERFORMANCE.md for the format)
+bench-sim:
+	PYTHONPATH=src $(PY) -m repro bench
+
+# tiny fixed workload: fails only if the engine and the scalar oracle
+# disagree — never on timing (safe for loaded CI boxes)
+bench-sim-smoke:
+	PYTHONPATH=src $(PY) -m repro bench --smoke --out BENCH_sim_smoke.json
 
 # regenerate every paper artifact at default scale
 experiments:

@@ -8,6 +8,7 @@ Usage::
     python -m repro trojans
     python -m repro protocol
     python -m repro ablations
+    python -m repro bench [--smoke]
     python -m repro all
 """
 
@@ -52,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
             default=0,
             help="extra attempts for rows that end in error",
         )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for campaign rows (1 = sequential)",
+        )
 
     p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
     p1.add_argument("--scale", type=float, default=None)
@@ -87,6 +95,36 @@ def main(argv: list[str] | None = None) -> int:
     ph.add_argument("--circuit", default="b20")
     sub.add_parser("all", help="every experiment, default parameters")
 
+    pb = sub.add_parser(
+        "bench",
+        help="compiled-engine vs scalar simulation benchmark "
+        "(writes BENCH_sim.json)",
+    )
+    pb.add_argument(
+        "--circuits",
+        type=str,
+        default=None,
+        help="comma-separated circuit names (default: b20,b21,b22)",
+    )
+    pb.add_argument("--scale", type=float, default=None)
+    pb.add_argument("--keys", type=int, default=64)
+    pb.add_argument("--patterns", type=int, default=4096)
+    pb.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repeats per backend (minimum is reported)",
+    )
+    pb.add_argument(
+        "--out", type=str, default="BENCH_sim.json", help="output JSON path"
+    )
+    pb.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fixed workload: verifies engine/scalar agreement only "
+        "(never fails on timing)",
+    )
+
     pl = sub.add_parser(
         "lint", help="static-analysis pre-flight over netlists/schemes/CNF"
     )
@@ -116,6 +154,19 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
+
+    if args.cmd == "bench":
+        from .sim.bench import run_bench_cli
+
+        return run_bench_cli(
+            circuits=args.circuits.split(",") if args.circuits else None,
+            scale=args.scale,
+            n_keys=args.keys,
+            n_patterns=args.patterns,
+            repeats=args.repeats,
+            out=args.out,
+            smoke=args.smoke,
+        )
 
     if args.cmd == "lint":
         from .lint.cli import run_lint
@@ -154,11 +205,13 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_dir = a.checkpoint_dir
         if a.resume and checkpoint_dir is None:
             checkpoint_dir = DEFAULT_CHECKPOINT_ROOT
+        jobs = getattr(a, "jobs", 1)
         if (
             checkpoint_dir is None
             and not a.resume
             and a.row_deadline is None
             and a.retries == 0
+            and jobs <= 1
         ):
             return None
         return RunPolicy(
@@ -166,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
             resume=a.resume,
             row_deadline_s=a.row_deadline,
             retries=a.retries,
+            jobs=jobs,
         )
 
     if args.cmd == "table1":

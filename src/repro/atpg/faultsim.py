@@ -16,7 +16,8 @@ import numpy as np
 from ..netlist import Netlist
 from ..runtime import faultinject
 from ..runtime.budget import Budget
-from ..sim.bitsim import BitSimulator, _eval_words, tail_mask
+from ..sim.bitsim import _eval_words, tail_mask
+from ..sim.optape import compile_engine
 from .faults import Fault
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -27,7 +28,10 @@ class FaultSimulator:
 
     def __init__(self, netlist: Netlist) -> None:
         self.netlist = netlist
-        self.sim = BitSimulator(netlist)
+        # the good-machine pass runs on the compiled op-tape engine (shared
+        # via the compile cache); per-fault cone propagation stays
+        # event-driven below, reading good values through net_index
+        self.sim = compile_engine(netlist)
         self._topo = netlist.topological_order()
         self._topo_pos = {n: i for i, n in enumerate(self._topo)}
         self._fanout = netlist.fanout_map()

@@ -2,7 +2,7 @@
 ablation sweeps called out in DESIGN.md."""
 
 from .common import DEFAULT_SCALE, PaperComparison, format_table
-from .runner import DEFAULT_CHECKPOINT_ROOT, ExperimentRunner, RunPolicy
+from .runner import DEFAULT_CHECKPOINT_ROOT, ExperimentRunner, RowTask, RunPolicy
 from .table1 import Table1Row, lock_for_table1, print_table1, run_table1
 from .table2 import Table2Row, print_table2, run_table2
 from .attack_matrix import (
@@ -31,6 +31,7 @@ __all__ = [
     "DEFAULT_SCALE",
     "DEFAULT_CHECKPOINT_ROOT",
     "ExperimentRunner",
+    "RowTask",
     "RunPolicy",
     "PaperComparison",
     "format_table",

@@ -23,7 +23,8 @@ before the current row produced anything.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -56,6 +57,8 @@ class RunPolicy:
             caps threaded into the row's :class:`Budget`.
         retries: extra attempts for rows that end in ``error``.
         backoff_s: base of the deterministic retry backoff.
+        jobs: worker processes for :meth:`ExperimentRunner.run_rows`
+            (1 = in-process sequential execution, the default).
     """
 
     checkpoint_dir: str | Path | None = None
@@ -66,6 +69,7 @@ class RunPolicy:
     max_patterns: int | None = None
     retries: int = 0
     backoff_s: float = 0.0
+    jobs: int = 1
 
     def budget_factory(self) -> Callable[[], Budget | None] | None:
         """Factory for fresh per-attempt budgets (None when unlimited)."""
@@ -82,6 +86,44 @@ class RunPolicy:
             max_backtracks=self.max_backtracks,
             max_patterns=self.max_patterns,
         )
+
+
+@dataclass
+class RowTask:
+    """One row of a campaign, described as data.
+
+    ``compute`` and ``preflight`` must be module-level callables taking
+    the positional ``args``/``preflight_args`` (plus ``budget=`` for
+    ``compute`` under a limited policy) so they pickle across the process
+    pool when :meth:`ExperimentRunner.run_rows` runs with ``jobs > 1``.
+    ``encode``/``decode`` run only in the parent and may be lambdas.
+    """
+
+    key: str
+    compute: Callable[..., Any]
+    args: tuple[Any, ...] = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    encode: Callable[[Any], dict] | None = None
+    decode: Callable[[dict], Any] | None = None
+    preflight: Callable[..., "LintReport"] | None = None
+    preflight_args: tuple[Any, ...] = ()
+
+
+def _pool_worker(
+    compute: Callable[..., Any],
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    policy: RunPolicy,
+) -> RunOutcome:
+    """Child-process entry: one guarded row under a fresh budget."""
+    return run_with_retry(
+        compute,
+        *args,
+        budget_factory=policy.budget_factory(),
+        retries=policy.retries,
+        backoff_s=policy.backoff_s,
+        **kwargs,
+    )
 
 
 class ExperimentRunner:
@@ -122,11 +164,15 @@ class ExperimentRunner:
         compute: Callable[..., Any],
         encode: Callable[[Any], dict] | None = None,
         decode: Callable[[dict], Any] | None = None,
-        preflight: Callable[[], "LintReport"] | None = None,
+        preflight: Callable[..., "LintReport"] | None = None,
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+        preflight_args: tuple[Any, ...] = (),
     ) -> RunOutcome:
         """Run (or reuse) one row; returns its :class:`RunOutcome`.
 
-        ``compute`` must accept a ``budget`` keyword when the policy sets
+        ``compute`` is called as ``compute(*args, **kwargs)`` and must
+        additionally accept a ``budget`` keyword when the policy sets
         any per-row limit.  ``encode``/``decode`` convert the row value
         to/from a JSON-able dict for checkpointing; without them the raw
         value is stored (it must then be JSON-able itself).
@@ -149,36 +195,109 @@ class ExperimentRunner:
                 return cached
 
         if preflight is not None:
-            failed = self._run_preflight(key, preflight)
+            failed = self._run_preflight(key, preflight, preflight_args)
             if failed is not None:
                 return failed
 
         outcome = run_with_retry(
             compute,
+            *args,
             budget_factory=self.policy.budget_factory(),
             retries=self.policy.retries,
             backoff_s=self.policy.backoff_s,
+            **(kwargs or {}),
         )
         self.rows_computed += 1
-        if self.store is not None:
-            value = outcome.value
-            self.store.save(
-                key,
-                {
-                    "fingerprint": self.fingerprint,
-                    "status": outcome.status.value,
-                    "row": encode(value)
-                    if (encode is not None and value is not None)
-                    else value,
-                    "elapsed_s": round(outcome.elapsed_s, 6),
-                    "attempts": outcome.attempts,
-                    "error": outcome.error,
-                },
-            )
+        self._save_outcome(key, outcome, encode)
         return outcome
 
+    def run_rows(
+        self, tasks: list[RowTask], jobs: int | None = None
+    ) -> list[RunOutcome]:
+        """Run a campaign's rows, optionally across worker processes.
+
+        With ``jobs`` (default ``policy.jobs``) above 1, rows whose
+        results are not already checkpointed are dispatched to a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; each worker
+        re-runs the row under the same policy (fresh per-attempt budgets,
+        retry/backoff) via :func:`run_with_retry`.  Everything stateful —
+        fault-injection sites, resume-cache lookups, lint preflights and
+        checkpoint writes — stays in the parent, and outcomes are
+        collected (and checkpointed) in task order, so a parallel
+        campaign produces exactly the rows a sequential one would.
+        """
+        jobs = self.policy.jobs if jobs is None else jobs
+        if jobs <= 1:
+            return [
+                self.run_row(
+                    t.key,
+                    t.compute,
+                    encode=t.encode,
+                    decode=t.decode,
+                    preflight=t.preflight,
+                    args=t.args,
+                    kwargs=t.kwargs,
+                    preflight_args=t.preflight_args,
+                )
+                for t in tasks
+            ]
+        results: list[RunOutcome | None] = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures: dict[int, Any] = {}
+            for i, t in enumerate(tasks):
+                if faultinject.enabled:
+                    faultinject.fire("experiment.row")
+                if self.store is not None and self.policy.resume:
+                    cached = self._load_cached(t.key, t.decode)
+                    if cached is not None:
+                        self.rows_reused += 1
+                        results[i] = cached
+                        continue
+                if t.preflight is not None:
+                    failed = self._run_preflight(
+                        t.key, t.preflight, t.preflight_args
+                    )
+                    if failed is not None:
+                        results[i] = failed
+                        continue
+                futures[i] = pool.submit(
+                    _pool_worker, t.compute, t.args, t.kwargs, self.policy
+                )
+            for i, fut in futures.items():
+                outcome = fut.result()
+                self.rows_computed += 1
+                self._save_outcome(tasks[i].key, outcome, tasks[i].encode)
+                results[i] = outcome
+        return [r for r in results if r is not None]
+
+    def _save_outcome(
+        self,
+        key: str,
+        outcome: RunOutcome,
+        encode: Callable[[Any], dict] | None,
+    ) -> None:
+        if self.store is None:
+            return
+        value = outcome.value
+        self.store.save(
+            key,
+            {
+                "fingerprint": self.fingerprint,
+                "status": outcome.status.value,
+                "row": encode(value)
+                if (encode is not None and value is not None)
+                else value,
+                "elapsed_s": round(outcome.elapsed_s, 6),
+                "attempts": outcome.attempts,
+                "error": outcome.error,
+            },
+        )
+
     def _run_preflight(
-        self, key: str, preflight: Callable[[], "LintReport"]
+        self,
+        key: str,
+        preflight: Callable[..., "LintReport"],
+        preflight_args: tuple[Any, ...] = (),
     ) -> RunOutcome | None:
         """Lint the row's inputs; an error report becomes the row verdict.
 
@@ -188,7 +307,7 @@ class ExperimentRunner:
         the strongest possible pre-flight failure.
         """
         try:
-            report = preflight()
+            report = preflight(*preflight_args)
         except Exception as exc:
             outcome = RunOutcome(
                 RunStatus.ERROR,

@@ -30,7 +30,7 @@ from ..runtime.budget import Budget
 from ..sim import measure_corruption
 from ..synth import measure_overhead
 from .common import DEFAULT_SCALE, format_table
-from .runner import ExperimentRunner, RunPolicy
+from .runner import ExperimentRunner, RowTask, RunPolicy
 
 
 @dataclass
@@ -102,6 +102,52 @@ def lock_for_table1(
     return best
 
 
+def _table1_compute(
+    name: str,
+    scale: float,
+    n_patterns: int,
+    n_keys: int,
+    seed: int,
+    budget: Budget | None = None,
+) -> Table1Row:
+    """One Table I row (module-level so it pickles to pool workers)."""
+    spec = PAPER_CIRCUITS[name]
+    netlist = build_paper_circuit(name, scale=scale)
+    key_width = scaled_key_size(name, scale)
+    locked, report, n_key_gates = lock_for_table1(
+        netlist,
+        key_width,
+        spec.control_inputs,
+        n_patterns=n_patterns,
+        n_keys=n_keys,
+        rng=seed,
+        budget=budget,
+    )
+    lfsr_cfg = LFSRConfig(size=key_width)
+    overhead = measure_overhead(locked.original, locked.locked, lfsr_cfg)
+    return Table1Row(
+        circuit=name,
+        n_gates=netlist.num_gates(count_inverters=False),
+        n_outputs=len(netlist.outputs),
+        lfsr_size=key_width,
+        control_inputs=spec.control_inputs,
+        n_key_gates=n_key_gates,
+        hd_percent=report.hd_percent,
+        area_overhead_percent=overhead.area_overhead_percent,
+        delay_overhead_percent=overhead.delay_overhead_percent,
+        paper_hd=spec.hd_percent,
+        paper_area=spec.area_overhead_percent,
+        paper_delay=spec.delay_overhead_percent,
+    )
+
+
+def _table1_preflight(name: str, scale: float):
+    return lint_netlist(
+        build_paper_circuit(name, scale=scale),
+        source=f"{name}@x{scale:g}",
+    )
+
+
 def run_table1(
     scale: float = DEFAULT_SCALE,
     circuits: list[str] | None = None,
@@ -112,9 +158,10 @@ def run_table1(
 ) -> list[Table1Row]:
     """Measure Table I rows on the scaled stand-in circuits.
 
-    ``policy`` governs per-row deadlines, retries and checkpoint/resume;
-    rows that end in ``timeout``/``budget``/``error`` are dropped from
-    the table (their verdicts live in the checkpoint store).
+    ``policy`` governs per-row deadlines, retries, checkpoint/resume and
+    worker-process count (``policy.jobs``); rows that end in
+    ``timeout``/``budget``/``error`` are dropped from the table (their
+    verdicts live in the checkpoint store).
     """
     runner = ExperimentRunner(
         "table1",
@@ -126,57 +173,20 @@ def run_table1(
             "seed": seed,
         },
     )
-    rows: list[Table1Row] = []
-    for name in circuits or PAPER_ORDER:
-
-        def compute(name=name, budget: Budget | None = None) -> Table1Row:
-            spec = PAPER_CIRCUITS[name]
-            netlist = build_paper_circuit(name, scale=scale)
-            key_width = scaled_key_size(name, scale)
-            locked, report, n_key_gates = lock_for_table1(
-                netlist,
-                key_width,
-                spec.control_inputs,
-                n_patterns=n_patterns,
-                n_keys=n_keys,
-                rng=seed,
-                budget=budget,
-            )
-            lfsr_cfg = LFSRConfig(size=key_width)
-            overhead = measure_overhead(
-                locked.original, locked.locked, lfsr_cfg
-            )
-            return Table1Row(
-                circuit=name,
-                n_gates=netlist.num_gates(count_inverters=False),
-                n_outputs=len(netlist.outputs),
-                lfsr_size=key_width,
-                control_inputs=spec.control_inputs,
-                n_key_gates=n_key_gates,
-                hd_percent=report.hd_percent,
-                area_overhead_percent=overhead.area_overhead_percent,
-                delay_overhead_percent=overhead.delay_overhead_percent,
-                paper_hd=spec.hd_percent,
-                paper_area=spec.area_overhead_percent,
-                paper_delay=spec.delay_overhead_percent,
-            )
-
-        def preflight(name=name):
-            return lint_netlist(
-                build_paper_circuit(name, scale=scale),
-                source=f"{name}@x{scale:g}",
-            )
-
-        outcome = runner.run_row(
-            name,
-            compute,
+    tasks = [
+        RowTask(
+            key=name,
+            compute=_table1_compute,
+            args=(name, scale, n_patterns, n_keys, seed),
             encode=asdict,
             decode=lambda d: Table1Row(**d),
-            preflight=preflight,
+            preflight=_table1_preflight,
+            preflight_args=(name, scale),
         )
-        if outcome.value is not None:
-            rows.append(outcome.value)
-    return rows
+        for name in circuits or PAPER_ORDER
+    ]
+    outcomes = runner.run_rows(tasks)
+    return [o.value for o in outcomes if o.value is not None]
 
 
 def print_table1(rows: list[Table1Row]) -> str:

@@ -21,7 +21,7 @@ from ..lint import lint_netlist
 from ..locking import WLLConfig, lock_weighted
 from ..runtime.budget import Budget
 from .common import DEFAULT_SCALE, format_table
-from .runner import ExperimentRunner, RunPolicy
+from .runner import ExperimentRunner, RowTask, RunPolicy
 
 
 @dataclass
@@ -61,62 +61,72 @@ def run_table2(
             "seed": seed,
         },
     )
-    rows: list[Table2Row] = []
-    for name in circuits or PAPER_ORDER:
-
-        def compute(name=name, budget: Budget | None = None) -> Table2Row:
-            spec = PAPER_CIRCUITS[name]
-            netlist = build_paper_circuit(name, scale=scale)
-            key_width = scaled_key_size(name, scale)
-            locked = lock_weighted(
-                netlist,
-                WLLConfig(
-                    key_width=key_width,
-                    control_width=spec.control_inputs,
-                    n_key_gates=max(1, key_width // spec.control_inputs),
-                ),
-                rng=seed,
-            )
-            rep_orig = run_atpg(
-                netlist,
-                n_random_patterns=n_random_patterns,
-                seed=seed,
-                budget=budget,
-            )
-            rep_prot = run_atpg(
-                locked.locked,
-                n_random_patterns=n_random_patterns,
-                seed=seed,
-                budget=budget,
-            )
-            return Table2Row(
-                circuit=name,
-                fc_original=rep_orig.fault_coverage_percent,
-                red_abrt_original=rep_orig.redundant_plus_aborted,
-                fc_protected=rep_prot.fault_coverage_percent,
-                red_abrt_protected=rep_prot.redundant_plus_aborted,
-                paper_fc_original=spec.fc_original,
-                paper_red_abrt_original=spec.red_abrt_original,
-                paper_fc_protected=spec.fc_protected,
-                paper_red_abrt_protected=spec.red_abrt_protected,
-            )
-
-        def preflight(name=name):
-            return lint_netlist(
-                build_paper_circuit(name, scale=scale),
-                source=f"{name}@x{scale:g}",
-            )
-
-        outcome = runner.run_row(
-            name,
-            compute,
+    tasks = [
+        RowTask(
+            key=name,
+            compute=_table2_compute,
+            args=(name, scale, n_random_patterns, seed),
             encode=asdict,
             decode=lambda d: Table2Row(**d),
-            preflight=preflight,
+            preflight=_table2_preflight,
+            preflight_args=(name, scale),
         )
-        if outcome.value is not None:
-            rows.append(outcome.value)
-    return rows
+        for name in circuits or PAPER_ORDER
+    ]
+    outcomes = runner.run_rows(tasks)
+    return [o.value for o in outcomes if o.value is not None]
+
+
+def _table2_compute(
+    name: str,
+    scale: float,
+    n_random_patterns: int,
+    seed: int,
+    budget: Budget | None = None,
+) -> Table2Row:
+    """One Table II row (module-level so it pickles to pool workers)."""
+    spec = PAPER_CIRCUITS[name]
+    netlist = build_paper_circuit(name, scale=scale)
+    key_width = scaled_key_size(name, scale)
+    locked = lock_weighted(
+        netlist,
+        WLLConfig(
+            key_width=key_width,
+            control_width=spec.control_inputs,
+            n_key_gates=max(1, key_width // spec.control_inputs),
+        ),
+        rng=seed,
+    )
+    rep_orig = run_atpg(
+        netlist,
+        n_random_patterns=n_random_patterns,
+        seed=seed,
+        budget=budget,
+    )
+    rep_prot = run_atpg(
+        locked.locked,
+        n_random_patterns=n_random_patterns,
+        seed=seed,
+        budget=budget,
+    )
+    return Table2Row(
+        circuit=name,
+        fc_original=rep_orig.fault_coverage_percent,
+        red_abrt_original=rep_orig.redundant_plus_aborted,
+        fc_protected=rep_prot.fault_coverage_percent,
+        red_abrt_protected=rep_prot.redundant_plus_aborted,
+        paper_fc_original=spec.fc_original,
+        paper_red_abrt_original=spec.red_abrt_original,
+        paper_fc_protected=spec.fc_protected,
+        paper_red_abrt_protected=spec.red_abrt_protected,
+    )
+
+
+def _table2_preflight(name: str, scale: float):
+    return lint_netlist(
+        build_paper_circuit(name, scale=scale),
+        source=f"{name}@x{scale:g}",
+    )
 
 
 def print_table2(rows: list[Table2Row]) -> str:

@@ -1,0 +1,217 @@
+"""``repro bench`` — compiled op-tape engine vs scalar simulation.
+
+Times the Table I corruption workload (WLL-locked circuit, many wrong
+keys, a pseudorandom pattern block) on both :func:`measure_corruption`
+backends and writes a machine-readable ``BENCH_sim.json``.  Correctness
+comes first: the two backends' :class:`CorruptionReport`\\ s are compared
+field for field, and any disagreement makes the benchmark *fail* —
+timing never does (a loaded CI box must not flake the build, so the
+smoke job asserts agreement only).
+
+Timing discipline: every measurement is the minimum over ``repeats``
+runs — the minimum is the right estimator for a deterministic workload,
+since every perturbation (page faults, frequency ramps, neighbours) only
+ever adds time.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..bench.registry import PAPER_CIRCUITS, build_paper_circuit, scaled_key_size
+from ..locking import WLLConfig, lock_weighted
+from .metrics import DEFAULT_MAX_MATRIX_BYTES, measure_corruption
+from .optape import clear_engine_cache, compile_engine
+
+#: default benchmark workload: the ITC'99 trio from Table I at a scale
+#: where the scalar loop already takes hundreds of ms per circuit
+DEFAULT_BENCH_CIRCUITS = ("b20", "b21", "b22")
+DEFAULT_BENCH_SCALE = 0.08
+
+#: smoke workload: seconds, not minutes — agreement check only
+SMOKE_CIRCUITS = ("s38417", "b20")
+SMOKE_SCALE = 0.02
+SMOKE_KEYS = 9
+SMOKE_PATTERNS = 777  # deliberately not a multiple of 64 (tail masking)
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """(min wall-clock over ``repeats`` runs, last return value)."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def bench_circuit(
+    name: str,
+    scale: float,
+    n_keys: int,
+    n_patterns: int,
+    repeats: int,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Benchmark one circuit; returns its result row (JSON-able dict)."""
+    spec = PAPER_CIRCUITS[name]
+    netlist = build_paper_circuit(name, scale=scale)
+    key_width = scaled_key_size(name, scale)
+    locked = lock_weighted(
+        netlist,
+        WLLConfig(
+            key_width=key_width,
+            control_width=spec.control_inputs,
+            n_key_gates=max(1, key_width // spec.control_inputs),
+        ),
+        rng=seed,
+    )
+    clear_engine_cache()
+    engine = compile_engine(locked.locked)
+
+    def run(backend: str):
+        return measure_corruption(
+            locked.locked,
+            locked.key_inputs,
+            locked.correct_key,
+            n_patterns=n_patterns,
+            n_keys=n_keys,
+            seed=seed,
+            backend=backend,
+        )
+
+    # warm both paths once (compile cache, numpy ufunc setup), then time
+    report_optape = run("optape")
+    report_scalar = run("scalar")
+    t_optape, _ = _best_of(lambda: run("optape"), repeats)
+    t_scalar, _ = _best_of(lambda: run("scalar"), repeats)
+
+    key_patterns = n_keys * n_patterns
+    return {
+        "circuit": name,
+        "scale": scale,
+        "n_nets": engine.n_nets,
+        "n_groups": engine.n_groups,
+        "key_width": key_width,
+        "n_keys": n_keys,
+        "n_patterns": n_patterns,
+        "scalar_s": round(t_scalar, 6),
+        "optape_s": round(t_optape, 6),
+        "speedup": round(t_scalar / t_optape, 2) if t_optape > 0 else None,
+        "scalar_key_patterns_per_s": round(key_patterns / t_scalar, 1),
+        "optape_key_patterns_per_s": round(key_patterns / t_optape, 1),
+        "match": report_optape == report_scalar,
+        "hd_percent": round(report_optape.hd_percent, 4),
+    }
+
+
+def run_bench(
+    circuits: list[str] | None = None,
+    scale: float | None = None,
+    n_keys: int = 64,
+    n_patterns: int = 4096,
+    repeats: int = 5,
+    seed: int = 0,
+    smoke: bool = False,
+) -> dict[str, Any]:
+    """Run the benchmark suite; returns the full report dict.
+
+    ``smoke=True`` replaces the workload with a fixed tiny one
+    (including a non-multiple-of-64 pattern count) whose only assertion
+    is backend agreement.
+    """
+    if smoke:
+        circuits = list(circuits or SMOKE_CIRCUITS)
+        scale = SMOKE_SCALE if scale is None else scale
+        n_keys, n_patterns, repeats = SMOKE_KEYS, SMOKE_PATTERNS, 1
+    else:
+        circuits = list(circuits or DEFAULT_BENCH_CIRCUITS)
+        scale = DEFAULT_BENCH_SCALE if scale is None else scale
+    rows = [
+        bench_circuit(name, scale, n_keys, n_patterns, repeats, seed=seed)
+        for name in circuits
+    ]
+    total_scalar = sum(r["scalar_s"] for r in rows)
+    total_optape = sum(r["optape_s"] for r in rows)
+    return {
+        "workload": {
+            "circuits": circuits,
+            "scale": scale,
+            "n_keys": n_keys,
+            "n_patterns": n_patterns,
+            "repeats": repeats,
+            "seed": seed,
+            "smoke": smoke,
+            "max_matrix_bytes": DEFAULT_MAX_MATRIX_BYTES,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "circuits": rows,
+        "aggregate": {
+            "scalar_s": round(total_scalar, 6),
+            "optape_s": round(total_optape, 6),
+            "speedup": round(total_scalar / total_optape, 2)
+            if total_optape > 0
+            else None,
+            "all_match": all(r["match"] for r in rows),
+        },
+    }
+
+
+def run_bench_cli(
+    circuits: list[str] | None = None,
+    scale: float | None = None,
+    n_keys: int = 64,
+    n_patterns: int = 4096,
+    repeats: int = 5,
+    out: str = "BENCH_sim.json",
+    smoke: bool = False,
+) -> int:
+    """CLI driver: print the table, write ``out``, exit non-zero only on
+    an engine/scalar disagreement (never on timing)."""
+    report = run_bench(
+        circuits=circuits,
+        scale=scale,
+        n_keys=n_keys,
+        n_patterns=n_patterns,
+        repeats=repeats,
+        smoke=smoke,
+    )
+    w = report["workload"]
+    print(
+        f"sim bench: {','.join(w['circuits'])} @ scale {w['scale']:g}, "
+        f"{w['n_keys']} keys x {w['n_patterns']} patterns "
+        f"(min of {w['repeats']})"
+    )
+    print(
+        f"{'circuit':>8} {'nets':>6} {'groups':>6} {'scalar':>10} "
+        f"{'optape':>10} {'speedup':>8} {'match':>6}"
+    )
+    for r in report["circuits"]:
+        print(
+            f"{r['circuit']:>8} {r['n_nets']:>6} {r['n_groups']:>6} "
+            f"{r['scalar_s'] * 1e3:>8.1f}ms {r['optape_s'] * 1e3:>8.1f}ms "
+            f"{r['speedup']:>7.1f}x {'ok' if r['match'] else 'FAIL':>6}"
+        )
+    agg = report["aggregate"]
+    print(
+        f"{'total':>8} {'':>6} {'':>6} {agg['scalar_s'] * 1e3:>8.1f}ms "
+        f"{agg['optape_s'] * 1e3:>8.1f}ms {agg['speedup']:>7.1f}x "
+        f"{'ok' if agg['all_match'] else 'FAIL':>6}"
+    )
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    if not agg["all_match"]:
+        print("ERROR: op-tape engine disagrees with the scalar oracle")
+        return 1
+    return 0

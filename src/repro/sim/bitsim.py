@@ -25,31 +25,40 @@ def n_words(n_patterns: int) -> int:
     return (n_patterns + 63) // 64
 
 
+_BYTE_SHIFTS = np.uint64(8) * np.arange(8, dtype=np.uint64)
+
+
 def pack_patterns(bits: np.ndarray) -> np.ndarray:
     """Pack a ``(n_patterns, n_signals)`` 0/1 array into
-    ``(n_signals, n_words)`` uint64 words."""
+    ``(n_signals, n_words)`` uint64 words.
+
+    Fully vectorized: ``np.packbits`` (LSB-first) produces the byte
+    stream, and the eight bytes of each word are then combined with
+    shifts — no per-pattern Python loop.
+    """
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.ndim != 2:
         raise ValueError("expected a 2-D (patterns x signals) array")
     n_pat, n_sig = bits.shape
-    words = np.zeros((n_sig, n_words(n_pat)), dtype=np.uint64)
-    for i in range(n_pat):
-        w, b = divmod(i, 64)
-        mask = np.uint64(1) << np.uint64(b)
-        idx = np.nonzero(bits[i])[0]
-        words[idx, w] |= mask
-    return words
+    nw = n_words(n_pat)
+    cols = np.zeros((n_sig, nw * 64), dtype=np.uint8)
+    cols[:, :n_pat] = (bits != 0).T
+    packed = np.packbits(cols, axis=1, bitorder="little")  # (n_sig, nw * 8)
+    as_bytes = packed.reshape(n_sig, nw, 8).astype(np.uint64)
+    return (as_bytes << _BYTE_SHIFTS).sum(axis=2, dtype=np.uint64)
 
 
 def unpack_patterns(words: np.ndarray, n_patterns: int) -> np.ndarray:
     """Inverse of :func:`pack_patterns`: ``(n_signals, n_words)`` ->
     ``(n_patterns, n_signals)`` uint8."""
-    n_sig = words.shape[0]
-    out = np.zeros((n_patterns, n_sig), dtype=np.uint8)
-    for i in range(n_patterns):
-        w, b = divmod(i, 64)
-        out[i] = (words[:, w] >> np.uint64(b)) & np.uint64(1)
-    return out
+    n_sig, nw = words.shape
+    as_bytes = ((words[:, :, None] >> _BYTE_SHIFTS) & np.uint64(0xFF)).astype(
+        np.uint8
+    )
+    bits = np.unpackbits(
+        as_bytes.reshape(n_sig, nw * 8), axis=1, bitorder="little"
+    )
+    return np.ascontiguousarray(bits[:, :n_patterns].T)
 
 
 def tail_mask(n_patterns: int) -> np.uint64:
@@ -60,11 +69,37 @@ def tail_mask(n_patterns: int) -> np.uint64:
     return np.uint64((1 << rem) - 1)
 
 
+#: numpy >= 2.0 ships a hardware-popcount ufunc; older versions fall back
+#: to the byte-table path below (kept — and parity-tested — forever)
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
 def popcount_words(words: np.ndarray) -> int:
     """Total number of set bits across a uint64 array."""
-    # view as bytes and use the uint8 popcount table
-    as_bytes = words.reshape(-1).view(np.uint8)
-    return int(_POPCOUNT_TABLE[as_bytes].sum())
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum(dtype=np.int64))
+    return _popcount_words_table(words)
+
+
+def _popcount_words_table(words: np.ndarray) -> int:
+    """Byte-table popcount: the numpy < 2.0 fallback (and parity oracle)."""
+    as_bytes = np.ascontiguousarray(words).reshape(-1).view(np.uint8)
+    return int(_POPCOUNT_TABLE[as_bytes].sum(dtype=np.int64))
+
+
+def popcount_lanes(words: np.ndarray) -> np.ndarray:
+    """Per-lane popcount: sums set bits over every axis but the first.
+
+    Used by the batched multi-key Hamming-distance reduction, where axis
+    0 is the key lane.  Returns an ``(n_lanes,)`` int64 array.
+    """
+    if _HAS_BITWISE_COUNT:
+        counts = np.bitwise_count(words)
+    else:
+        counts = _POPCOUNT_TABLE[
+            np.ascontiguousarray(words).view(np.uint8)
+        ].sum(axis=-1, dtype=np.int64)
+    return counts.reshape(words.shape[0], -1).sum(axis=1, dtype=np.int64)
 
 
 _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint32)

@@ -11,7 +11,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from .bitsim import n_words, tail_mask
+from .bitsim import n_words, pack_patterns, tail_mask
 
 
 def random_words(
@@ -39,20 +39,10 @@ def exhaustive_words(n_signals: int) -> np.ndarray:
     if n_signals > 20:
         raise ValueError("exhaustive simulation limited to 20 signals")
     n_pat = 1 << n_signals
-    nw = n_words(n_pat)
-    words = np.zeros((n_signals, nw), dtype=np.uint64)
     idx = np.arange(n_pat, dtype=np.uint64)
-    for s in range(n_signals):
-        bits = (idx >> np.uint64(s)) & np.uint64(1)
-        packed = np.zeros(nw, dtype=np.uint64)
-        for w in range(nw):
-            chunk = bits[w * 64 : (w + 1) * 64]
-            val = 0
-            for b, bit in enumerate(chunk):
-                val |= int(bit) << b
-            packed[w] = val
-        words[s] = packed
-    return words
+    shifts = np.arange(n_signals, dtype=np.uint64)
+    bits = ((idx[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return pack_patterns(bits)
 
 
 def weighted_words(
