@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke experiments examples clean
+.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry trace-smoke experiments examples clean
 
 install:
 	pip install -e .
@@ -11,7 +11,7 @@ dev:
 	pip install -e '.[dev]'
 
 test:
-	$(PY) -m pytest tests/
+	PYTHONPATH=src $(PY) -m pytest tests/
 
 # static analysis: ruff + mypy over the Python sources, then the project's
 # own netlist/CNF/scheme linter over every bundled artifact.  The external
@@ -28,12 +28,13 @@ lint:
 
 # quick signal: static analysis plus everything except the slow suites
 verify-fast: lint
-	$(PY) -m pytest tests/ -m "not slow"
+	PYTHONPATH=src $(PY) -m pytest tests/ -m "not slow"
 
 # robustness gate: runtime governance, fault injection, kill/resume
 verify-robust:
-	$(PY) -m pytest tests/test_runtime.py tests/test_checkpoint.py \
-		tests/test_faultinject.py tests/test_resume.py tests/test_bench_io.py
+	PYTHONPATH=src $(PY) -m pytest tests/test_runtime.py \
+		tests/test_checkpoint.py tests/test_faultinject.py \
+		tests/test_resume.py tests/test_bench_io.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -47,6 +48,24 @@ bench-sim:
 # disagree — never on timing (safe for loaded CI boxes)
 bench-sim-smoke:
 	PYTHONPATH=src $(PY) -m repro bench --smoke --out BENCH_sim_smoke.json
+
+# disabled-telemetry cost on the smoke workload: counts the dispatches
+# the workload performs, prices each primitive, and fails if the
+# projection reaches 2%; writes BENCH_telemetry.json
+bench-telemetry:
+	PYTHONPATH=src $(PY) -c "from repro.telemetry import run_overhead_cli; \
+		raise SystemExit(run_overhead_cli())"
+
+# end-to-end trace fan-in: a tiny 4-way parallel campaign streamed to
+# one JSONL file, then every record schema-validated (an unknown span
+# name fails the build) and summarized
+trace-smoke:
+	rm -f TRACE_smoke.jsonl
+	PYTHONPATH=src $(PY) -m repro table1 --scale 0.004 \
+		--circuits s38417,b20 --patterns 256 --jobs 4 \
+		--trace TRACE_smoke.jsonl
+	PYTHONPATH=src $(PY) -m repro trace validate TRACE_smoke.jsonl
+	PYTHONPATH=src $(PY) -m repro trace report TRACE_smoke.jsonl
 
 # regenerate every paper artifact at default scale
 experiments:

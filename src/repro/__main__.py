@@ -9,7 +9,12 @@ Usage::
     python -m repro protocol
     python -m repro ablations
     python -m repro bench [--smoke]
+    python -m repro trace report out.jsonl
     python -m repro all
+
+Campaign subcommands accept ``--trace out.jsonl`` to stream telemetry
+spans/counters (merged across ``--jobs`` worker processes) into a JSONL
+trace, inspected with ``repro trace report`` / ``repro trace validate``.
 """
 
 from __future__ import annotations
@@ -59,6 +64,14 @@ def main(argv: list[str] | None = None) -> int:
             default=1,
             metavar="N",
             help="worker processes for campaign rows (1 = sequential)",
+        )
+        p.add_argument(
+            "--trace",
+            type=str,
+            default=None,
+            metavar="FILE.jsonl",
+            help="append telemetry spans/counters to this JSONL trace "
+            "(merged across --jobs workers)",
         )
 
     p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
@@ -125,6 +138,23 @@ def main(argv: list[str] | None = None) -> int:
         "(never fails on timing)",
     )
 
+    pt = sub.add_parser(
+        "trace", help="inspect or validate a telemetry JSONL trace"
+    )
+    pt.add_argument(
+        "action",
+        choices=["report", "validate"],
+        help="report: per-phase timing summary; validate: schema-check "
+        "every record",
+    )
+    pt.add_argument("path", help="trace file written via --trace")
+    pt.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="slowest rows to list in the report (default 10)",
+    )
+
     pl = sub.add_parser(
         "lint", help="static-analysis pre-flight over netlists/schemes/CNF"
     )
@@ -168,6 +198,11 @@ def main(argv: list[str] | None = None) -> int:
             smoke=args.smoke,
         )
 
+    if args.cmd == "trace":
+        from .telemetry import run_trace_cli
+
+        return run_trace_cli(args.action, args.path, top=args.top)
+
     if args.cmd == "lint":
         from .lint.cli import run_lint
 
@@ -206,12 +241,14 @@ def main(argv: list[str] | None = None) -> int:
         if a.resume and checkpoint_dir is None:
             checkpoint_dir = DEFAULT_CHECKPOINT_ROOT
         jobs = getattr(a, "jobs", 1)
+        trace = getattr(a, "trace", None)
         if (
             checkpoint_dir is None
             and not a.resume
             and a.row_deadline is None
             and a.retries == 0
             and jobs <= 1
+            and trace is None
         ):
             return None
         return RunPolicy(
@@ -220,6 +257,7 @@ def main(argv: list[str] | None = None) -> int:
             row_deadline_s=a.row_deadline,
             retries=a.retries,
             jobs=jobs,
+            trace_path=trace,
         )
 
     if args.cmd == "table1":

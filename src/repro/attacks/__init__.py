@@ -2,6 +2,15 @@
 SAT [6], AppSAT [11], Double DIP [10], hill climbing [4], key
 sensitization [5], SPS [9], removal [9], bypass [12], FALL [18]."""
 
+from .api import (
+    AttackSpec,
+    AttackTarget,
+    get_attack,
+    list_attacks,
+    register,
+    run_attack,
+)
+from .config import AttackConfig, deprecated_kwargs
 from .oracle import (
     CountingOracle,
     IdealOracle,
@@ -46,6 +55,14 @@ from .fall import (
 )
 
 __all__ = [
+    "AttackSpec",
+    "AttackTarget",
+    "get_attack",
+    "list_attacks",
+    "register",
+    "run_attack",
+    "AttackConfig",
+    "deprecated_kwargs",
     "CountingOracle",
     "IdealOracle",
     "Oracle",

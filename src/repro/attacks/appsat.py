@@ -15,9 +15,11 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..netlist import GateType, Netlist
-from ..runtime.budget import Budget, ResourceExhausted
+from ..runtime.budget import ResourceExhausted
 from ..sat import Solver
+from .config import AttackConfig
 from .encoding import AIGEncoder
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
@@ -25,15 +27,13 @@ from .satattack import extract_consistent_key
 
 
 @dataclass
-class AppSATConfig:
+class AppSATConfig(AttackConfig):
     """Knobs for :func:`appsat_attack`."""
 
     max_iterations: int = 64
     probe_period: int = 4
     probe_queries: int = 32
     error_threshold: float = 0.0
-    seed: int = 0
-    budget: Budget | None = None
 
 
 def appsat_attack(
@@ -92,20 +92,22 @@ def appsat_attack(
         while iterations < config.max_iterations:
             if budget is not None:
                 budget.check_deadline()
-            res = solver.solve(budget=budget)
-            if not res.sat:
-                exact_unsat = True
-                break
-            assert res.model is not None
-            dip = {
-                name: int(res.model[enc.pi_var(lit)])
-                for name, lit in x_lits.items()
-            }
-            raw = oracle.query(dip)
-            response = {o: int(bool(raw[o])) for o in locked.outputs}
-            io_log.append((dip, response))
-            add_io_constraint(dip, response)
-            iterations += 1
+            with telemetry.span("attack.appsat.iteration", dip=iterations):
+                res = solver.solve(budget=budget)
+                if not res.sat:
+                    exact_unsat = True
+                    break
+                assert res.model is not None
+                dip = {
+                    name: int(res.model[enc.pi_var(lit)])
+                    for name, lit in x_lits.items()
+                }
+                raw = oracle.query(dip)
+                response = {o: int(bool(raw[o])) for o in locked.outputs}
+                io_log.append((dip, response))
+                add_io_constraint(dip, response)
+                iterations += 1
+                telemetry.counter_add("attack.dips")
             if iterations % config.probe_period == 0:
                 candidate = extract_consistent_key(
                     locked, key_inputs, io_log, budget=budget

@@ -26,16 +26,20 @@ from typing import Mapping, Sequence
 from ..netlist import GateType, Netlist
 from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import CNF, CircuitEncoder, Solver
+from .config import AttackConfig
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
 
 
 @dataclass
-class BypassConfig:
-    """Knobs for :func:`bypass_attack`."""
+class BypassConfig(AttackConfig):
+    """Knobs for :func:`bypass_attack`.
+
+    ``max_iterations`` is unused (the loop is bounded by
+    ``max_error_points``, the bypass unit's size budget).
+    """
+
     max_error_points: int = 32
-    seed: int = 0
-    budget: Budget | None = None
 
 
 def enumerate_disagreements(

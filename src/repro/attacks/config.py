@@ -1,0 +1,106 @@
+"""The common configuration contract shared by every attack.
+
+Before this module each attack carried its own bespoke dataclass with
+overlapping-but-renamed fields (``max_rounds`` here, ``max_flips``
+there), which made attack×defense campaign code special-case every
+column.  :class:`AttackConfig` is the shared base:
+
+* ``max_iterations`` — the attack's primary iteration budget, whatever
+  the algorithm's natural unit is (DIPs for the SAT family, key flips
+  for hill climbing, sensitization rounds, CycSAT iterations);
+* ``seed`` — the PRNG seed for randomized attacks;
+* ``budget`` — the shared :class:`~repro.runtime.Budget` bounding the
+  whole run (wall clock + resource caps).
+
+Renamed legacy knobs (``max_rounds``, ``max_flips``) keep working
+through :func:`deprecated_kwargs` constructor shims and read-only
+property aliases, both emitting :class:`DeprecationWarning` — migration
+is documented in ``docs/ATTACK_API.md``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Callable, TypeVar
+
+from ..runtime.budget import Budget
+
+_C = TypeVar("_C")
+
+
+@dataclass
+class AttackConfig:
+    """Fields every attack configuration shares.
+
+    Attributes:
+        max_iterations: cap on the algorithm's primary loop (None =
+            unlimited where the attack supports it; concrete configs
+            override the default with their traditional value).
+        seed: PRNG seed for randomized choices (ignored by
+            deterministic attacks).
+        budget: shared :class:`~repro.runtime.Budget`; violations
+            surface as ``timeout``/``budget`` status rows, never
+            exceptions.
+    """
+
+    max_iterations: int | None = None
+    seed: int = 0
+    budget: Budget | None = None
+
+    def with_budget(self, budget: Budget | None) -> "AttackConfig":
+        """Copy of this config with ``budget`` replaced (None keeps it)."""
+        if budget is None:
+            return self
+        return replace(self, budget=budget)
+
+
+def deprecated_kwargs(**aliases: str) -> Callable[[type[_C]], type[_C]]:
+    """Class decorator: accept legacy constructor kwargs with a warning.
+
+    ``@deprecated_kwargs(max_rounds="max_iterations")`` makes
+    ``Config(max_rounds=3)`` behave as ``Config(max_iterations=3)``
+    while emitting a :class:`DeprecationWarning`; passing both the old
+    and the new name is an error.  A read-only property is added for
+    each old name so legacy *reads* keep working too (also warning).
+    """
+
+    def decorate(cls: type[_C]) -> type[_C]:
+        original_init = cls.__init__  # type: ignore[misc]
+
+        def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+            for old, new in aliases.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{cls.__name__}: got both deprecated {old!r} "
+                            f"and its replacement {new!r}"
+                        )
+                    warnings.warn(
+                        f"{cls.__name__}({old}=...) is deprecated; "
+                        f"use {new}=... instead",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            original_init(self, *args, **kwargs)
+
+        cls.__init__ = __init__  # type: ignore[misc]
+
+        def make_alias(old_name: str, new_name: str) -> property:
+            def getter(self: Any) -> Any:
+                warnings.warn(
+                    f"{cls.__name__}.{old_name} is deprecated; "
+                    f"read {new_name} instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return getattr(self, new_name)
+
+            return property(getter)
+
+        for old, new in aliases.items():
+            setattr(cls, old, make_alias(old, new))
+        return cls
+
+    return decorate

@@ -23,20 +23,22 @@ from typing import Sequence
 
 import networkx as nx
 
+from .. import telemetry
 from ..locking import LockedCircuit
 from ..netlist import Netlist
-from ..runtime.budget import Budget, ResourceExhausted
+from ..runtime.budget import ResourceExhausted
 from ..sat import CNF, CircuitEncoder, Solver
+from .config import AttackConfig
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
 
 
 @dataclass
-class CycSATConfig:
+class CycSATConfig(AttackConfig):
     """Knobs for :func:`cycsat_attack`."""
+
     max_iterations: int = 128
     max_cycles_enumerated: int = 2000
-    budget: Budget | None = None
 
 
 def no_cycle_clauses(
@@ -140,16 +142,18 @@ def cycsat_attack(
         while len(io_log) < config.max_iterations:
             if budget is not None:
                 budget.check_deadline()
-            res = solver.solve(budget=budget)
-            if not res.sat:
-                break
-            assert res.model is not None
-            dip = {name: int(res.model[v]) for name, v in x_vars.items()}
-            raw = oracle.query(dip)
-            response = {o: int(bool(raw[o])) for o in locked.outputs}
-            io_log.append((dip, response))
-            constrain(k1_vars, dip, response)
-            constrain(k2_vars, dip, response)
+            with telemetry.span("attack.cycsat.iteration", dip=len(io_log)):
+                res = solver.solve(budget=budget)
+                if not res.sat:
+                    break
+                assert res.model is not None
+                dip = {name: int(res.model[v]) for name, v in x_vars.items()}
+                raw = oracle.query(dip)
+                response = {o: int(bool(raw[o])) for o in locked.outputs}
+                io_log.append((dip, response))
+                constrain(k1_vars, dip, response)
+                constrain(k2_vars, dip, response)
+                telemetry.counter_add("attack.dips")
         else:
             return AttackResult(
                 attack="cycsat",

@@ -20,10 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..netlist import Netlist
-from ..runtime.budget import Budget, ResourceExhausted
+from ..runtime.budget import ResourceExhausted
 from ..sat import Solver
 from ..synth.aig import lit_not
+from .config import AttackConfig
 from .encoding import AIGEncoder
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
@@ -31,10 +33,9 @@ from .satattack import extract_consistent_key
 
 
 @dataclass
-class DoubleDIPConfig:
+class DoubleDIPConfig(AttackConfig):
     """Knobs for :func:`doubledip_attack`."""
     max_iterations: int = 128
-    budget: Budget | None = None
 
 
 def doubledip_attack(
@@ -97,25 +98,30 @@ def doubledip_attack(
             if len(io_log) >= config.max_iterations:
                 gave_up = True
                 break
-            res = solver.solve(assumptions=[strong], budget=budget)
-            used_strong = res.sat
-            if not res.sat:
-                res = solver.solve(assumptions=[weak], budget=budget)
+            with telemetry.span(
+                "attack.doubledip.iteration", dip=len(io_log)
+            ) as sp:
+                res = solver.solve(assumptions=[strong], budget=budget)
+                used_strong = res.sat
                 if not res.sat:
-                    break
-            assert res.model is not None
-            dip = {
-                name: int(res.model[enc.pi_var(lit)])
-                for name, lit in x_lits.items()
-            }
-            raw = oracle.query(dip)
-            response = {o: int(bool(raw[o])) for o in locked.outputs}
-            io_log.append((dip, response))
-            add_io_constraint(dip, response)
-            if used_strong:
-                two_dips += 1
-            else:
-                one_dips += 1
+                    res = solver.solve(assumptions=[weak], budget=budget)
+                    if not res.sat:
+                        break
+                assert res.model is not None
+                dip = {
+                    name: int(res.model[enc.pi_var(lit)])
+                    for name, lit in x_lits.items()
+                }
+                raw = oracle.query(dip)
+                response = {o: int(bool(raw[o])) for o in locked.outputs}
+                io_log.append((dip, response))
+                add_io_constraint(dip, response)
+                telemetry.counter_add("attack.dips")
+                sp.set(strong=used_strong)
+                if used_strong:
+                    two_dips += 1
+                else:
+                    one_dips += 1
 
         key = (
             None

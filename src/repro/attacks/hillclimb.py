@@ -18,24 +18,31 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..netlist import Netlist
-from ..runtime.budget import Budget, ResourceExhausted
+from ..runtime.budget import ResourceExhausted
 from ..sim import BitSimulator, broadcast_constant, pack_patterns, popcount_words, tail_mask
+from .config import AttackConfig, deprecated_kwargs
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
 
 
+@deprecated_kwargs(max_flips="max_iterations")
 @dataclass
-class HillClimbConfig:
-    """Knobs for :func:`hill_climb_attack`."""
+class HillClimbConfig(AttackConfig):
+    """Knobs for :func:`hill_climb_attack`.
+
+    ``max_iterations`` counts key flips across all restarts (the knob
+    was historically called ``max_flips``, still accepted with a
+    :class:`DeprecationWarning`).
+    """
+
+    max_iterations: int = 4000
     n_patterns: int = 128
-    max_flips: int = 4000
     restarts: int = 4
     #: also try two-bit moves when single-bit flips stall — multi-input
     #: control gates (WLL) create single-flip plateaus
     pair_flips: bool = True
-    seed: int = 0
-    budget: Budget | None = None
 
 
 def hill_climb_attack(
@@ -116,43 +123,50 @@ def hill_climb_attack(
     try:
         for restart in range(config.restarts):
             key = [rng.randrange(2) for _ in key_inputs]
-            cost = mismatches(key)
-            improved = True
-            while improved and flips_used < config.max_flips:
-                improved = False
-                order = list(range(len(key_inputs)))
-                rng.shuffle(order)
-                for bit in order:
-                    if flips_used >= config.max_flips:
-                        break
-                    key[bit] ^= 1
-                    flips_used += 1
-                    new_cost = mismatches(key)
-                    if new_cost < cost:
-                        cost = new_cost
-                        improved = True
-                    else:
+            with telemetry.span(
+                "attack.hillclimb.restart", restart=restart
+            ) as restart_span:
+                cost = mismatches(key)
+                improved = True
+                while improved and flips_used < config.max_iterations:
+                    improved = False
+                    order = list(range(len(key_inputs)))
+                    rng.shuffle(order)
+                    for bit in order:
+                        if flips_used >= config.max_iterations:
+                            break
                         key[bit] ^= 1
-                if improved or not config.pair_flips or cost == 0:
-                    continue
-                # plateau: probe two-bit moves (escapes multi-input control
-                # gates whose output only changes when several bits move)
-                n = len(key_inputs)
-                pair_order = [(i, j) for i in range(n) for j in range(i + 1, n)]
-                rng.shuffle(pair_order)
-                for i, j in pair_order:
-                    if flips_used >= config.max_flips:
-                        break
-                    key[i] ^= 1
-                    key[j] ^= 1
-                    flips_used += 1
-                    new_cost = mismatches(key)
-                    if new_cost < cost:
-                        cost = new_cost
-                        improved = True
-                        break
-                    key[i] ^= 1
-                    key[j] ^= 1
+                        flips_used += 1
+                        new_cost = mismatches(key)
+                        if new_cost < cost:
+                            cost = new_cost
+                            improved = True
+                        else:
+                            key[bit] ^= 1
+                    if improved or not config.pair_flips or cost == 0:
+                        continue
+                    # plateau: probe two-bit moves (escapes multi-input
+                    # control gates whose output only changes when several
+                    # bits move)
+                    n = len(key_inputs)
+                    pair_order = [
+                        (i, j) for i in range(n) for j in range(i + 1, n)
+                    ]
+                    rng.shuffle(pair_order)
+                    for i, j in pair_order:
+                        if flips_used >= config.max_iterations:
+                            break
+                        key[i] ^= 1
+                        key[j] ^= 1
+                        flips_used += 1
+                        new_cost = mismatches(key)
+                        if new_cost < cost:
+                            cost = new_cost
+                            improved = True
+                            break
+                        key[i] ^= 1
+                        key[j] ^= 1
+                restart_span.set(cost=cost, flips_used=flips_used)
             if best_cost is None or cost < best_cost:
                 best_cost = cost
                 best_key = list(key)

@@ -28,16 +28,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from .. import telemetry
 from ..netlist import Netlist
 from ..runtime.budget import Budget, BudgetExhausted, ResourceExhausted
 from ..sat import Solver
+from .config import AttackConfig
 from .encoding import AIGEncoder
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
 
 
 @dataclass
-class SATAttackConfig:
+class SATAttackConfig(AttackConfig):
     """Knobs for :func:`sat_attack`.
 
     Attributes:
@@ -50,7 +52,6 @@ class SATAttackConfig:
 
     max_iterations: int | None = 256
     conflict_budget: int | None = None
-    budget: Budget | None = None
 
 
 def sat_attack(
@@ -116,33 +117,35 @@ def sat_attack(
                     status="budget",
                     notes={"reason": "iteration budget exhausted"},
                 )
-            try:
-                res = solver.solve(
-                    conflict_budget=config.conflict_budget, budget=budget
-                )
-            except BudgetExhausted:
-                if budget is not None and budget.exhausted():
-                    raise  # shared-budget violation: report via status row
-                return AttackResult(
-                    attack="sat",
-                    recovered_key=None,
-                    completed=False,
-                    iterations=len(io_log),
-                    oracle_queries=queries_used(),
-                    status="budget",
-                    notes={"reason": "conflict budget exhausted"},
-                )
-            if not res.sat:
-                break
-            assert res.model is not None
-            dip = {
-                name: int(res.model[enc.pi_var(lit)])
-                for name, lit in x_lits.items()
-            }
-            raw = oracle.query(dip)
-            response = {o: int(bool(raw[o])) for o in locked.outputs}
-            io_log.append((dip, response))
-            add_io_constraint(dip, response)
+            with telemetry.span("attack.sat.iteration", dip=len(io_log)):
+                try:
+                    res = solver.solve(
+                        conflict_budget=config.conflict_budget, budget=budget
+                    )
+                except BudgetExhausted:
+                    if budget is not None and budget.exhausted():
+                        raise  # shared-budget violation: report as status row
+                    return AttackResult(
+                        attack="sat",
+                        recovered_key=None,
+                        completed=False,
+                        iterations=len(io_log),
+                        oracle_queries=queries_used(),
+                        status="budget",
+                        notes={"reason": "conflict budget exhausted"},
+                    )
+                if not res.sat:
+                    break
+                assert res.model is not None
+                dip = {
+                    name: int(res.model[enc.pi_var(lit)])
+                    for name, lit in x_lits.items()
+                }
+                raw = oracle.query(dip)
+                response = {o: int(bool(raw[o])) for o in locked.outputs}
+                io_log.append((dip, response))
+                add_io_constraint(dip, response)
+                telemetry.counter_add("attack.dips")
 
         key = extract_consistent_key(locked, key_inputs, io_log, budget=budget)
     except ResourceExhausted as exc:

@@ -24,18 +24,27 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..netlist import Netlist
 from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import CNF, CircuitEncoder, Solver
+from .config import AttackConfig, deprecated_kwargs
 from ..sim import BitSimulator, broadcast_constant, pack_patterns
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
 
 
+@deprecated_kwargs(max_rounds="max_iterations")
 @dataclass
-class SensitizationConfig:
-    """Knobs for :func:`sensitization_attack`."""
-    max_rounds: int = 8
+class SensitizationConfig(AttackConfig):
+    """Knobs for :func:`sensitization_attack`.
+
+    ``max_iterations`` counts full passes over the key bits (the knob
+    was historically called ``max_rounds``, still accepted with a
+    :class:`DeprecationWarning`).
+    """
+
+    max_iterations: int = 8
     attempts_per_bit: int = 4
     #: samples of the unknown keys used to confirm a pattern is golden
     golden_samples: int = 8
@@ -44,8 +53,6 @@ class SensitizationConfig:
     brute_force_limit: int = 12
     brute_force_patterns: int = 32
     verify_patterns: int = 16
-    seed: int = 0
-    budget: Budget | None = None
 
 
 def _find_sensitizing_pattern(
@@ -144,48 +151,52 @@ def sensitization_attack(
 
     budget = config.budget
     try:
-        for _ in range(config.max_rounds):
-            progress = False
-            for bit in key_inputs:
-                if bit in known:
-                    continue
-                if budget is not None:
-                    budget.check_deadline()
-                forbidden: list[dict[str, int]] = []
-                for _ in range(config.attempts_per_bit):
-                    found = _find_sensitizing_pattern(
-                        locked,
-                        data_inputs,
-                        key_inputs,
-                        bit,
-                        known,
-                        forbidden,
-                        budget=budget,
-                    )
-                    if found is None:
-                        break
-                    pattern, others = found
-                    attempts += 1
-                    trial = {**known, **others}
-                    out0 = simulate(pattern, {**trial, bit: 0})
-                    out1 = simulate(pattern, {**trial, bit: 1})
-                    sensitized = [
-                        o for o in locked.outputs if out0[o] != out1[o]
-                    ]
-                    if not is_golden(
-                        pattern, bit, others, sensitized, out0, out1
-                    ):
-                        forbidden.append(pattern)
+        for round_no in range(config.max_iterations):
+            with telemetry.span(
+                "attack.sensitization.round", round=round_no
+            ) as round_span:
+                progress = False
+                for bit in key_inputs:
+                    if bit in known:
                         continue
-                    want = oracle.query(pattern)
-                    want = {o: int(bool(want[o])) for o in locked.outputs}
-                    m0 = all(out0[o] == want[o] for o in sensitized)
-                    m1 = all(out1[o] == want[o] for o in sensitized)
-                    if m0 != m1:  # exactly one hypothesis consistent
-                        known[bit] = 0 if m0 else 1
-                        progress = True
-                        break
-                    forbidden.append(pattern)
+                    if budget is not None:
+                        budget.check_deadline()
+                    forbidden: list[dict[str, int]] = []
+                    for _ in range(config.attempts_per_bit):
+                        found = _find_sensitizing_pattern(
+                            locked,
+                            data_inputs,
+                            key_inputs,
+                            bit,
+                            known,
+                            forbidden,
+                            budget=budget,
+                        )
+                        if found is None:
+                            break
+                        pattern, others = found
+                        attempts += 1
+                        trial = {**known, **others}
+                        out0 = simulate(pattern, {**trial, bit: 0})
+                        out1 = simulate(pattern, {**trial, bit: 1})
+                        sensitized = [
+                            o for o in locked.outputs if out0[o] != out1[o]
+                        ]
+                        if not is_golden(
+                            pattern, bit, others, sensitized, out0, out1
+                        ):
+                            forbidden.append(pattern)
+                            continue
+                        want = oracle.query(pattern)
+                        want = {o: int(bool(want[o])) for o in locked.outputs}
+                        m0 = all(out0[o] == want[o] for o in sensitized)
+                        m1 = all(out1[o] == want[o] for o in sensitized)
+                        if m0 != m1:  # exactly one hypothesis consistent
+                            known[bit] = 0 if m0 else 1
+                            progress = True
+                            break
+                        forbidden.append(pattern)
+                round_span.set(bits_known=len(known), progress=progress)
             if len(known) == len(key_inputs):
                 break
             if not progress:

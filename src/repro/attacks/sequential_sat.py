@@ -27,8 +27,9 @@ from typing import Sequence
 
 from ..netlist import SequentialCircuit
 from ..orap.chip import ProtectedChip
-from ..runtime.budget import Budget, ResourceExhausted
+from ..runtime.budget import ResourceExhausted
 from ..sat import Solver
+from .config import AttackConfig
 from .encoding import AIGEncoder
 from .result import AttackResult, exhausted_result
 
@@ -63,15 +64,13 @@ class FunctionalOracle:
 
 
 @dataclass
-class SequentialSATConfig:
+class SequentialSATConfig(AttackConfig):
     """Knobs for :func:`sequential_sat_attack`."""
 
-    depth: int = 6
     max_iterations: int = 64
+    depth: int = 6
     verify_sequences: int = 8
     verify_length: int = 12
-    seed: int = 0
-    budget: Budget | None = None
 
 
 def _unroll(

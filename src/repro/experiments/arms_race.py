@@ -24,16 +24,9 @@ from ..attacks import (
     BypassConfig,
     IdealOracle,
     SATAttackConfig,
-    appsat_attack,
-    bypass_attack,
-    fall_attack,
-    hill_climb_attack,
     key_is_correct,
     netlist_is_correct,
-    removal_attack,
-    sat_attack,
-    sensitization_attack,
-    sps_attack,
+    run_attack,
 )
 from ..bench import GeneratorConfig, generate_netlist
 from ..locking import (
@@ -81,12 +74,12 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
 
     # --- RLL ---
     rll = lock_random(host, key_width=8, rng=2)
-    r = sensitization_attack(rll.locked, rll.key_inputs, IdealOracle(rll.original))
+    r = run_attack("sensitization", rll, IdealOracle(rll.original))
     rows.append(
         ArmsRaceRow("RLL", "sensitization", True, r.completed,
                     key_is_correct(rll, r.recovered_key))
     )
-    r = hill_climb_attack(rll.locked, rll.key_inputs, IdealOracle(rll.original))
+    r = run_attack("hillclimb", rll, IdealOracle(rll.original))
     rows.append(
         ArmsRaceRow("RLL", "hillclimb", True, r.completed,
                     key_is_correct(rll, r.recovered_key))
@@ -94,7 +87,7 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
 
     # --- FLL ---
     fll = lock_fault_analysis(host, key_width=8, rng=2)
-    r = sat_attack(fll.locked, fll.key_inputs, IdealOracle(fll.original))
+    r = run_attack("sat", fll, IdealOracle(fll.original))
     rows.append(
         ArmsRaceRow("FLL", "sat", True, r.completed,
                     key_is_correct(fll, r.recovered_key))
@@ -102,17 +95,17 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
 
     # --- SARLock ---
     sar = lock_sarlock(host, key_width=7, rng=2)
-    r = sat_attack(
-        sar.locked, sar.key_inputs, IdealOracle(sar.original),
-        SATAttackConfig(max_iterations=16),
+    r = run_attack(
+        "sat", sar, IdealOracle(sar.original),
+        config=SATAttackConfig(max_iterations=16),
     )
     rows.append(
         ArmsRaceRow("SARLock", "sat (16 DIPs)", True, r.completed, False,
                     note="resists: needs ~2^k DIPs")
     )
-    r = appsat_attack(
-        sar.locked, sar.key_inputs, IdealOracle(sar.original),
-        AppSATConfig(max_iterations=32, error_threshold=0.05),
+    r = run_attack(
+        "appsat", sar, IdealOracle(sar.original),
+        config=AppSATConfig(max_iterations=32, error_threshold=0.05),
     )
     rows.append(
         ArmsRaceRow(
@@ -121,14 +114,14 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
             note=f"err={r.notes.get('error_rate')}",
         )
     )
-    r = removal_attack(sar.locked, sar.key_inputs)
+    r = run_attack("removal", sar)
     rows.append(
         ArmsRaceRow("SARLock", "removal", False, r.completed,
                     netlist_is_correct(sar, r.notes.get("netlist")))
     )
-    r = bypass_attack(
-        sar.locked, sar.key_inputs, IdealOracle(sar.original),
-        BypassConfig(max_error_points=8),
+    r = run_attack(
+        "bypass", sar, IdealOracle(sar.original),
+        config=BypassConfig(max_error_points=8),
     )
     rows.append(
         ArmsRaceRow("SARLock", "bypass", True, r.completed,
@@ -137,12 +130,12 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
 
     # --- Anti-SAT ---
     ans = lock_antisat(host, half_width=8, rng=2)
-    r = sps_attack(ans.locked, ans.key_inputs)
+    r = run_attack("sps", ans)
     rows.append(
         ArmsRaceRow("Anti-SAT", "sps", False, r.completed,
                     netlist_is_correct(ans, r.notes.get("netlist")))
     )
-    r = removal_attack(ans.locked, ans.key_inputs)
+    r = run_attack("removal", ans)
     rows.append(
         ArmsRaceRow("Anti-SAT", "removal", False, r.completed,
                     netlist_is_correct(ans, r.notes.get("netlist")))
@@ -194,19 +187,18 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
 
     # --- cyclic locking ---
     from ..locking import induced_acyclic_netlist, lock_cyclic
-    from ..attacks import cycsat_attack
     from ..sat import check_equivalence
 
     cyc = lock_cyclic(host, n_feedbacks=5, rng=2)
     try:
-        sat_attack(cyc.locked, cyc.key_inputs, IdealOracle(cyc.original))
+        run_attack("sat", cyc, IdealOracle(cyc.original))
         rows.append(ArmsRaceRow("Cyclic", "sat", True, True, False))
     except ValueError:
         rows.append(
             ArmsRaceRow("Cyclic", "sat", True, False, False,
                         note="not applicable: cyclic netlist")
         )
-    r = cycsat_attack(cyc, IdealOracle(cyc.original))
+    r = run_attack("cycsat", cyc, IdealOracle(cyc.original))
     cyc_broken = False
     if r.recovered_key is not None:
         key = {k: r.recovered_key[k] for k in cyc.key_inputs}
@@ -218,7 +210,7 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
 
     # --- TTLock / SFLL ---
     tt = lock_ttlock(host, key_width=8, rng=2)
-    r = fall_attack(tt.locked, tt.key_inputs)
+    r = run_attack("fall", tt)
     rows.append(
         ArmsRaceRow("TTLock", "FALL (oracle-less)", False, r.completed,
                     key_is_correct(tt, r.recovered_key))
@@ -228,23 +220,21 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
     wll = lock_weighted(
         host, WLLConfig(key_width=12, control_width=3, n_key_gates=6), rng=2
     )
-    r = fall_attack(wll.locked, wll.key_inputs)
+    r = run_attack("fall", wll)
     rows.append(
         ArmsRaceRow("OraP+WLL", "FALL", False, r.completed, False,
                     note="not applicable (no cube stripping)")
     )
-    r = sps_attack(wll.locked, wll.key_inputs)
+    r = run_attack("sps", wll)
     broken = r.completed and netlist_is_correct(wll, r.notes.get("netlist"))
     rows.append(ArmsRaceRow("OraP+WLL", "sps", False, r.completed, broken))
-    r = removal_attack(wll.locked, wll.key_inputs)
+    r = run_attack("removal", wll)
     rows.append(
         ArmsRaceRow("OraP+WLL", "removal", False, r.completed,
                     netlist_is_correct(wll, r.notes.get("netlist")),
                     note="reconstruction inverted (rare pass values)")
     )
-    r = bypass_attack(
-        wll.locked, wll.key_inputs, IdealOracle(wll.original), BypassConfig()
-    )
+    r = run_attack("bypass", wll, IdealOracle(wll.original))
     rows.append(
         ArmsRaceRow("OraP+WLL", "bypass", True, r.completed, False,
                     note=str(r.notes.get("reason", "")))

@@ -21,22 +21,13 @@ from dataclasses import asdict, dataclass
 
 from ..attacks import (
     AppSATConfig,
-    BypassConfig,
     DoubleDIPConfig,
     HillClimbConfig,
     SATAttackConfig,
     ScanOracle,
-    SensitizationConfig,
-    appsat_attack,
-    bypass_attack,
-    doubledip_attack,
-    hill_climb_attack,
     key_is_correct,
     netlist_is_correct,
-    removal_attack,
-    sat_attack,
-    sensitization_attack,
-    sps_attack,
+    run_attack,
 )
 from ..bench import GeneratorConfig, SequentialConfig, generate_sequential
 from ..locking import WLLConfig
@@ -107,7 +98,6 @@ def run_attack_matrix(
         policy = dataclasses.replace(policy, row_deadline_s=attack_deadline_s)
     d = design if design is not None else default_design(seed=seed, variant=variant)
     locked = d.locked
-    target = locked.locked
 
     # one lint pass over the protected design, shared by every cell's
     # pre-flight: a malformed chip yields a matrix of error rows instead
@@ -128,57 +118,26 @@ def run_attack_matrix(
     )
     cells: list[MatrixCell] = []
 
+    # every cell dispatches through the unified registry
+    # (:func:`repro.attacks.run_attack`); only non-default configs are
+    # spelled out here
+    suite_configs = {
+        "sat": SATAttackConfig(max_iterations=max_iterations),
+        "appsat": AppSATConfig(max_iterations=max_iterations),
+        "doubledip": DoubleDIPConfig(max_iterations=max_iterations),
+        "hillclimb": HillClimbConfig(n_patterns=128, restarts=16),
+        "sensitization": None,
+    }
+
     def attack_suite(oracle):
         return [
             (
-                "sat",
-                lambda budget=None: sat_attack(
-                    target,
-                    locked.key_inputs,
-                    oracle,
-                    SATAttackConfig(
-                        max_iterations=max_iterations, budget=budget
-                    ),
+                name,
+                lambda budget=None, name=name, cfg=cfg: run_attack(
+                    name, locked, oracle, config=cfg, budget=budget
                 ),
-            ),
-            (
-                "appsat",
-                lambda budget=None: appsat_attack(
-                    target,
-                    locked.key_inputs,
-                    oracle,
-                    AppSATConfig(max_iterations=max_iterations, budget=budget),
-                ),
-            ),
-            (
-                "doubledip",
-                lambda budget=None: doubledip_attack(
-                    target,
-                    locked.key_inputs,
-                    oracle,
-                    DoubleDIPConfig(
-                        max_iterations=max_iterations, budget=budget
-                    ),
-                ),
-            ),
-            (
-                "hillclimb",
-                lambda budget=None: hill_climb_attack(
-                    target,
-                    locked.key_inputs,
-                    oracle,
-                    HillClimbConfig(n_patterns=128, restarts=16, budget=budget),
-                ),
-            ),
-            (
-                "sensitization",
-                lambda budget=None: sensitization_attack(
-                    target,
-                    locked.key_inputs,
-                    oracle,
-                    SensitizationConfig(budget=budget),
-                ),
-            ),
+            )
+            for name, cfg in suite_configs.items()
         ]
 
     def run_cell(key, attack_name, chip_kind, run, correct_of):
@@ -237,14 +196,14 @@ def run_attack_matrix(
         "orap-sps",
         "sps",
         "orap",
-        lambda budget=None: sps_attack(target, locked.key_inputs),
+        lambda budget=None: run_attack("sps", locked),
         netlist_correct_of,
     )
     run_cell(
         "orap-removal",
         "removal",
         "orap",
-        lambda budget=None: removal_attack(target, locked.key_inputs),
+        lambda budget=None: run_attack("removal", locked),
         netlist_correct_of,
     )
     # bypass needs the oracle and low corruptibility; run against the
@@ -257,8 +216,8 @@ def run_attack_matrix(
         "conventional-bypass",
         "bypass",
         "conventional",
-        lambda budget=None: bypass_attack(
-            target, locked.key_inputs, base_oracle, BypassConfig(budget=budget)
+        lambda budget=None: run_attack(
+            "bypass", locked, base_oracle, budget=budget
         ),
         netlist_correct_of,
     )

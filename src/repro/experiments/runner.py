@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
+from .. import telemetry
 from ..runtime import faultinject
 from ..runtime.budget import Budget
 from ..runtime.checkpoint import CheckpointStore
@@ -59,6 +60,10 @@ class RunPolicy:
         backoff_s: base of the deterministic retry backoff.
         jobs: worker processes for :meth:`ExperimentRunner.run_rows`
             (1 = in-process sequential execution, the default).
+        trace_path: JSONL trace file for the campaign; the runner (and
+            every pool worker) configures :mod:`repro.telemetry` to
+            append there, so one merged trace carries the spans of all
+            processes.  None (default) leaves telemetry untouched.
     """
 
     checkpoint_dir: str | Path | None = None
@@ -70,6 +75,7 @@ class RunPolicy:
     retries: int = 0
     backoff_s: float = 0.0
     jobs: int = 1
+    trace_path: str | Path | None = None
 
     def budget_factory(self) -> Callable[[], Budget | None] | None:
         """Factory for fresh per-attempt budgets (None when unlimited)."""
@@ -114,16 +120,36 @@ def _pool_worker(
     args: tuple[Any, ...],
     kwargs: dict[str, Any],
     policy: RunPolicy,
+    experiment: str = "",
+    key: str = "",
 ) -> RunOutcome:
-    """Child-process entry: one guarded row under a fresh budget."""
-    return run_with_retry(
-        compute,
-        *args,
-        budget_factory=policy.budget_factory(),
-        retries=policy.retries,
-        backoff_s=policy.backoff_s,
-        **kwargs,
-    )
+    """Child-process entry: one guarded row under a fresh budget.
+
+    When the policy carries a ``trace_path`` the worker joins the shared
+    JSONL trace (idempotent across rows of the same batch) and wraps the
+    row in its own ``experiment.row`` span.  Counter totals are flushed
+    after every row — pool children exit via ``os._exit``, which skips
+    ``atexit``, so waiting for interpreter shutdown would lose them; the
+    report tool sums totals records per counter, so per-row flushing
+    changes record counts, not reported values.
+    """
+    if policy.trace_path is not None:
+        telemetry.configure(path=policy.trace_path)
+    with telemetry.span(
+        "experiment.row", experiment=experiment, key=key
+    ) as sp:
+        outcome = run_with_retry(
+            compute,
+            *args,
+            budget_factory=policy.budget_factory(),
+            retries=policy.retries,
+            backoff_s=policy.backoff_s,
+            **kwargs,
+        )
+        sp.set(status=outcome.status.value, attempts=outcome.attempts)
+    telemetry.counter_add("experiment.rows")
+    telemetry.flush_counters()
+    return outcome
 
 
 class ExperimentRunner:
@@ -155,6 +181,8 @@ class ExperimentRunner:
             )
         self.rows_reused = 0
         self.rows_computed = 0
+        if self.policy.trace_path is not None:
+            telemetry.configure(path=self.policy.trace_path)
 
     # ------------------------------------------------------------------ #
 
@@ -199,14 +227,19 @@ class ExperimentRunner:
             if failed is not None:
                 return failed
 
-        outcome = run_with_retry(
-            compute,
-            *args,
-            budget_factory=self.policy.budget_factory(),
-            retries=self.policy.retries,
-            backoff_s=self.policy.backoff_s,
-            **(kwargs or {}),
-        )
+        with telemetry.span(
+            "experiment.row", experiment=self.experiment, key=key
+        ) as sp:
+            outcome = run_with_retry(
+                compute,
+                *args,
+                budget_factory=self.policy.budget_factory(),
+                retries=self.policy.retries,
+                backoff_s=self.policy.backoff_s,
+                **(kwargs or {}),
+            )
+            sp.set(status=outcome.status.value, attempts=outcome.attempts)
+        telemetry.counter_add("experiment.rows")
         self.rows_computed += 1
         self._save_outcome(key, outcome, encode)
         return outcome
@@ -261,7 +294,13 @@ class ExperimentRunner:
                         results[i] = failed
                         continue
                 futures[i] = pool.submit(
-                    _pool_worker, t.compute, t.args, t.kwargs, self.policy
+                    _pool_worker,
+                    t.compute,
+                    t.args,
+                    t.kwargs,
+                    self.policy,
+                    self.experiment,
+                    t.key,
                 )
             for i, fut in futures.items():
                 outcome = fut.result()

@@ -21,6 +21,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from .. import telemetry
 from ..runtime import faultinject
 from ..runtime.budget import Budget, BudgetExhausted, DeadlineExpired
 from .cnf import CNF
@@ -466,7 +467,43 @@ class Solver:
                 :class:`~repro.runtime.BudgetExhausted` /
                 :class:`~repro.runtime.DeadlineExpired` with the solver
                 restored to decision level 0.
+
+        When telemetry is enabled each call is wrapped in a
+        ``sat.solve`` span and charges the ``sat.conflicts`` /
+        ``sat.decisions`` / ``sat.propagations`` counters with this
+        call's deltas (also on budget aborts); the ``sat.clauses``
+        gauge tracks problem + learned clause counts.
         """
+        if not telemetry.enabled():
+            return self._solve(assumptions, conflict_budget, budget)
+        start_conf = self.stats_conflicts
+        start_dec = self.stats_decisions
+        start_prop = self.stats_propagations
+        with telemetry.span("sat.solve", vars=self._n_vars) as sp:
+            try:
+                res = self._solve(assumptions, conflict_budget, budget)
+            finally:
+                telemetry.counter_add(
+                    "sat.conflicts", self.stats_conflicts - start_conf
+                )
+                telemetry.counter_add(
+                    "sat.decisions", self.stats_decisions - start_dec
+                )
+                telemetry.counter_add(
+                    "sat.propagations", self.stats_propagations - start_prop
+                )
+                telemetry.gauge_set(
+                    "sat.clauses", len(self._clauses) + len(self._learned)
+                )
+            sp.set(sat=res.sat, conflicts=res.conflicts)
+        return res
+
+    def _solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: int | None = None,
+        budget: Budget | None = None,
+    ) -> SolveResult:
         local_budget = (
             Budget(max_conflicts=conflict_budget)
             if conflict_budget is not None

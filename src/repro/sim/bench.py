@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import json
 import platform
-import time
 from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
+from .. import telemetry
 from ..bench.registry import PAPER_CIRCUITS, build_paper_circuit, scaled_key_size
 from ..locking import WLLConfig, lock_weighted
 from .metrics import DEFAULT_MAX_MATRIX_BYTES, measure_corruption
@@ -41,14 +41,24 @@ SMOKE_KEYS = 9
 SMOKE_PATTERNS = 777  # deliberately not a multiple of 64 (tail masking)
 
 
-def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
-    """(min wall-clock over ``repeats`` runs, last return value)."""
+def _best_of(
+    fn: Callable[[], Any], repeats: int, label: str = ""
+) -> tuple[float, Any]:
+    """(min wall-clock over ``repeats`` runs, last return value).
+
+    Each run is measured through :func:`repro.telemetry.timed_span`
+    (span ``bench.measure``): the duration comes from the span itself,
+    so a trace of the benchmark carries exactly the numbers reported —
+    and with telemetry disabled the span never allocates a record.
+    """
     best = float("inf")
     value = None
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - t0)
+    for rep in range(max(1, repeats)):
+        with telemetry.timed_span(
+            "bench.measure", label=label, rep=rep
+        ) as sp:
+            value = fn()
+        best = min(best, sp.duration_s)
     return best, value
 
 
@@ -88,10 +98,10 @@ def bench_circuit(
         )
 
     # warm both paths once (compile cache, numpy ufunc setup), then time
-    report_optape = run("optape")
+    report_optape = run("batched")
     report_scalar = run("scalar")
-    t_optape, _ = _best_of(lambda: run("optape"), repeats)
-    t_scalar, _ = _best_of(lambda: run("scalar"), repeats)
+    t_optape, _ = _best_of(lambda: run("batched"), repeats, label=f"{name}:batched")
+    t_scalar, _ = _best_of(lambda: run("scalar"), repeats, label=f"{name}:scalar")
 
     key_patterns = n_keys * n_patterns
     return {

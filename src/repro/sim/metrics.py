@@ -8,6 +8,7 @@ keys.  50% is optimal [3]; Table I reports per-circuit HD for OraP + WLL.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -91,7 +92,7 @@ def measure_corruption(
     n_patterns: int = 2048,
     n_keys: int = 16,
     seed: int = 0,
-    backend: str = "optape",
+    backend: str = "auto",
     max_matrix_bytes: int = DEFAULT_MAX_MATRIX_BYTES,
 ) -> CorruptionReport:
     """Measure HD of a locked netlist under random wrong keys.
@@ -99,18 +100,37 @@ def measure_corruption(
     Simulates the same pseudorandom input block once with the correct key
     and once per sampled wrong key; differences over all outputs are the HD.
 
-    ``backend`` selects the engine: ``"optape"`` (default) evaluates every
-    wrong key in parallel lanes of one compiled-tape pass (chunked so the
-    value matrix stays under ``max_matrix_bytes``); ``"scalar"`` is the
-    original one-simulation-per-key loop, kept as the cross-check oracle.
-    Both backends sample identical keys and return identical reports.
+    Args:
+        backend: ``"auto"`` (default) lets the library choose — currently
+            always the batched engine; ``"batched"`` forces the multi-key
+            lane evaluation on the compiled op-tape engine; ``"scalar"``
+            is the original one-simulation-per-key loop, kept as the
+            cross-check oracle.  The legacy name ``"optape"`` still
+            selects the batched engine but emits a
+            :class:`DeprecationWarning`.  All backends sample identical
+            keys and return identical reports.
+        max_matrix_bytes: cap on the batched backend's value matrix
+            (``n_nets * lanes * n_words * 8`` bytes); wrong keys are
+            evaluated in lane chunks that fit under it.  The 32 MiB
+            default (:data:`DEFAULT_MAX_MATRIX_BYTES`) keeps the working
+            set L3-resident — see the module docstring before raising it.
     """
     key_set = set(key_inputs)
     data_inputs = [i for i in locked.inputs if i not in key_set]
     if not data_inputs:
         raise ValueError("no non-key inputs to drive")
-    if backend not in ("optape", "scalar"):
+    if backend == "optape":
+        warnings.warn(
+            'measure_corruption(backend="optape") is deprecated; '
+            'use backend="batched" (or leave the default "auto")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        backend = "batched"
+    if backend not in ("auto", "batched", "scalar"):
         raise ValueError(f"unknown backend {backend!r}")
+    if backend == "auto":
+        backend = "batched"
     data_words = random_words(len(data_inputs), n_patterns, seed=seed)
     wrong_vecs = sample_wrong_keys(key_inputs, correct_key, n_keys, seed=seed)
     correct_vec = tuple(int(bool(correct_key[k])) for k in key_inputs)

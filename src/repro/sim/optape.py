@@ -44,6 +44,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..netlist import GateType, Netlist
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -263,7 +264,9 @@ class OpTapeEngine:
             if forced
             else None
         )
-        return self._eval_tape(values, forced_idx)
+        with telemetry.span("optape.run", words=nw, groups=self.n_groups):
+            telemetry.counter_add("optape.words", nw)
+            return self._eval_tape(values, forced_idx)
 
     def run_outputs(
         self,
@@ -325,7 +328,11 @@ class OpTapeEngine:
         )  # (n_keys, n_key_inputs)
         for col, name in enumerate(key_inputs):
             values[self._index[name]] = np.repeat(lane_words[:, col], nw)
-        self._eval_tape(values)
+        with telemetry.span(
+            "optape.run", words=n_keys * nw, lanes=n_keys, groups=self.n_groups
+        ):
+            telemetry.counter_add("optape.words", n_keys * nw)
+            self._eval_tape(values)
         out = values[self._output_idx]  # (n_outputs, n_keys * nw)
         return out.reshape(len(self._output_idx), n_keys, nw).transpose(1, 0, 2)
 
@@ -443,14 +450,18 @@ def compile_engine(netlist: Netlist, cache: bool = True) -> OpTapeEngine:
     cache even across distinct :class:`Netlist` objects.
     """
     if not cache:
-        return OpTapeEngine(netlist)
+        with telemetry.span("optape.compile", nets=len(netlist.nets), cached=False):
+            return OpTapeEngine(netlist)
     key = netlist_fingerprint(netlist)
     with _cache_lock:
         engine = _engine_cache.get(key)
         if engine is not None:
             _engine_cache.move_to_end(key)
+            telemetry.counter_add("optape.cache.hit")
             return engine
-    engine = OpTapeEngine(netlist)
+    telemetry.counter_add("optape.cache.miss")
+    with telemetry.span("optape.compile", nets=len(netlist.nets), cached=True):
+        engine = OpTapeEngine(netlist)
     with _cache_lock:
         _engine_cache[key] = engine
         _engine_cache.move_to_end(key)

@@ -187,7 +187,7 @@ class TestBatchedCorruption:
         )
         r_optape = measure_corruption(
             lc.locked, list(lc.key_inputs), lc.correct_key,
-            backend="optape", **kwargs,
+            backend="batched", **kwargs,
         )
         assert r_scalar == r_optape
 
@@ -206,7 +206,7 @@ class TestBatchedCorruption:
         )
         r_optape = measure_corruption(
             lc.locked, list(lc.key_inputs), lc.correct_key,
-            backend="optape", **kwargs,
+            backend="batched", **kwargs,
         )
         assert r_scalar == r_optape
 
