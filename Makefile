@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry trace-smoke experiments examples clean
+.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry bench-gate trace-smoke cache-smoke experiments examples clean
 
 install:
 	pip install -e .
@@ -55,6 +55,45 @@ bench-sim-smoke:
 bench-telemetry:
 	PYTHONPATH=src $(PY) -c "from repro.telemetry import run_overhead_cli; \
 		raise SystemExit(run_overhead_cli())"
+
+# bench regression gate: regenerate BENCH_sim.json and
+# BENCH_telemetry.json into .bench-fresh/ and diff them (plus the
+# committed BENCH_runtime.json self-check) against the repo baselines;
+# >25% slowdown on a within-run ratio, a missing metric, or an
+# engine/scalar mismatch fails the build (scripts/bench_compare.py)
+bench-gate:
+	rm -rf .bench-fresh && mkdir -p .bench-fresh
+	PYTHONPATH=src $(PY) -m repro bench --out .bench-fresh/BENCH_sim.json
+	PYTHONPATH=src $(PY) -c "from repro.telemetry import run_overhead_cli; \
+		raise SystemExit(run_overhead_cli(out='.bench-fresh/BENCH_telemetry.json'))"
+	PYTHONPATH=src $(PY) scripts/bench_compare.py --fresh-dir .bench-fresh
+
+# warm-cache smoke: run the same tiny campaign twice against a shared
+# result cache; the second (warm) run must serve rows from the cache —
+# a schema-valid trace with a nonzero cache.hit total and a store that
+# passes `repro cache verify` — and print byte-identical tables.  The
+# cache dir is deliberately NOT wiped: CI restores .repro-cache-smoke
+# across runs (actions/cache), so even the "cold" run re-executes
+# incrementally; stale entries self-invalidate via CACHE_VERSION salts.
+cache-smoke:
+	rm -f TRACE_cache_cold.jsonl TRACE_cache_warm.jsonl
+	PYTHONPATH=src $(PY) -m repro table1 --scale 0.004 \
+		--circuits s38417,b20 --patterns 256 --jobs 4 \
+		--cache --cache-dir .repro-cache-smoke \
+		--trace TRACE_cache_cold.jsonl > TABLE_cache_cold.txt
+	PYTHONPATH=src $(PY) -m repro table1 --scale 0.004 \
+		--circuits s38417,b20 --patterns 256 --jobs 4 \
+		--cache --cache-dir .repro-cache-smoke \
+		--trace TRACE_cache_warm.jsonl > TABLE_cache_warm.txt
+	cmp TABLE_cache_cold.txt TABLE_cache_warm.txt
+	PYTHONPATH=src $(PY) -m repro trace validate TRACE_cache_warm.jsonl
+	PYTHONPATH=src $(PY) -m repro trace report TRACE_cache_warm.jsonl
+	PYTHONPATH=src $(PY) -m repro cache verify --cache-dir .repro-cache-smoke
+	PYTHONPATH=src $(PY) -c "import sys; \
+		from repro.telemetry import summarize_trace; \
+		hits = summarize_trace('TRACE_cache_warm.jsonl').counters.get('cache.hit', 0); \
+		print(f'warm-run cache.hit total: {hits}'); \
+		sys.exit(0 if hits > 0 else 1)"
 
 # end-to-end trace fan-in: a tiny 4-way parallel campaign streamed to
 # one JSONL file, then every record schema-validated (an unknown span

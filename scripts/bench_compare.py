@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Bench regression gate: diff fresh bench reports against baselines.
+
+Compares freshly produced ``BENCH_sim.json`` / ``BENCH_telemetry.json`` /
+``BENCH_runtime.json`` against the copies committed at the repo root and
+fails (exit 1) on a regression:
+
+* **missing metrics** — a circuit, field, or whole file the baseline has
+  but the fresh report lacks is always a failure (a silently shrinking
+  benchmark is the classic way perf gates rot);
+* **slowdown** — a higher-is-better metric (``speedup``,
+  ``optape_key_patterns_per_s``) dropping more than ``--threshold``
+  percent (default 25) below baseline, or a lower-is-better overhead
+  metric growing past both its baseline + threshold *and* its embedded
+  acceptance bound;
+* **correctness** — ``match: false`` in a fresh sim report or
+  ``pass: false`` in a fresh telemetry report fails regardless of
+  timing.
+
+Only *within-run ratios* (engine-vs-scalar speedup, projected overhead
+percentage) are compared across machines — absolute wall-clock numbers
+from a different box are not comparable and are reported informationally
+only.
+
+``BENCH_runtime.json`` records a one-off before/after instrumentation
+measurement that cannot be cheaply regenerated; when no fresh copy is
+given the committed baseline is self-checked against its own acceptance
+bound instead.
+
+Usage::
+
+    python scripts/bench_compare.py --fresh-dir .bench-fresh \
+        [--baseline-dir .] [--threshold 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD_PCT = 25.0
+
+
+def _load(path: Path) -> dict | None:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except ValueError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"error: {path} does not hold a JSON object")
+    return payload
+
+
+class Gate:
+    """Collects comparisons; remembers failures."""
+
+    def __init__(self, threshold_pct: float) -> None:
+        self.threshold_pct = threshold_pct
+        self.failures: list[str] = []
+        self.lines: list[str] = []
+
+    def info(self, msg: str) -> None:
+        self.lines.append(f"  {msg}")
+
+    def fail(self, msg: str) -> None:
+        self.failures.append(msg)
+        self.lines.append(f"  FAIL: {msg}")
+
+    def check_higher_better(
+        self, label: str, baseline: float, fresh: float
+    ) -> None:
+        """Fail when ``fresh`` is >threshold% below ``baseline``."""
+        floor = baseline * (1.0 - self.threshold_pct / 100.0)
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        self.lines.append(
+            f"  {label:<42} baseline {baseline:>10.2f}  "
+            f"fresh {fresh:>10.2f}  ({verdict})"
+        )
+        if fresh < floor:
+            self.failures.append(
+                f"{label}: {fresh:.2f} is more than "
+                f"{self.threshold_pct:g}% below baseline {baseline:.2f}"
+            )
+
+
+def compare_sim(gate: Gate, baseline: dict, fresh: dict | None) -> None:
+    gate.lines.append("BENCH_sim.json (compiled engine vs scalar)")
+    if fresh is None:
+        gate.fail("fresh BENCH_sim.json missing")
+        return
+    base_circuits = {c["circuit"]: c for c in baseline.get("circuits", [])}
+    fresh_circuits = {c["circuit"]: c for c in fresh.get("circuits", [])}
+    if not base_circuits:
+        gate.fail("baseline BENCH_sim.json has no circuits")
+        return
+    for name, base_row in sorted(base_circuits.items()):
+        fresh_row = fresh_circuits.get(name)
+        if fresh_row is None:
+            gate.fail(f"sim: circuit {name!r} missing from fresh report")
+            continue
+        if fresh_row.get("match") is not True:
+            gate.fail(f"sim: {name}: engine/scalar mismatch (match != true)")
+        speedup = fresh_row.get("speedup")
+        base_speedup = base_row.get("speedup")
+        if speedup is None or base_speedup is None:
+            gate.fail(f"sim: {name}: 'speedup' metric missing")
+            continue
+        gate.check_higher_better(
+            f"sim.{name}.speedup", float(base_speedup), float(speedup)
+        )
+        tput = fresh_row.get("optape_key_patterns_per_s")
+        if tput is None:
+            gate.fail(f"sim: {name}: 'optape_key_patterns_per_s' missing")
+        else:
+            # cross-machine absolute throughput: informational only
+            gate.info(
+                f"sim.{name}.optape_key_patterns_per_s  "
+                f"fresh {float(tput):,.0f} (not gated across machines)"
+            )
+
+
+def compare_telemetry(gate: Gate, baseline: dict, fresh: dict | None) -> None:
+    gate.lines.append("BENCH_telemetry.json (disabled-telemetry overhead)")
+    if fresh is None:
+        gate.fail("fresh BENCH_telemetry.json missing")
+        return
+    if fresh.get("pass") is not True:
+        gate.fail("telemetry: fresh report's own threshold check failed")
+    base_pct = baseline.get("projected_overhead_pct")
+    fresh_pct = fresh.get("projected_overhead_pct")
+    bound = fresh.get("threshold_pct", 2.0)
+    if fresh_pct is None or base_pct is None:
+        gate.fail("telemetry: 'projected_overhead_pct' metric missing")
+        return
+    # overheads live near zero, so relative-to-baseline alone would flag
+    # noise; regress only when fresh exceeds both baseline+threshold and
+    # half the hard acceptance bound
+    ceiling = max(
+        float(base_pct) * (1.0 + gate.threshold_pct / 100.0),
+        float(bound) / 2.0,
+    )
+    verdict = "ok" if float(fresh_pct) <= ceiling else "REGRESSION"
+    gate.lines.append(
+        f"  telemetry.projected_overhead_pct           "
+        f"baseline {float(base_pct):>10.4f}  fresh {float(fresh_pct):>10.4f}"
+        f"  ({verdict})"
+    )
+    if float(fresh_pct) > ceiling:
+        gate.failures.append(
+            f"telemetry: projected overhead {fresh_pct}% exceeds "
+            f"ceiling {ceiling:.4f}%"
+        )
+
+
+def compare_runtime(gate: Gate, baseline: dict, fresh: dict | None) -> None:
+    gate.lines.append("BENCH_runtime.json (governance instrumentation cost)")
+    source = fresh if fresh is not None else baseline
+    which = "fresh" if fresh is not None else "baseline (self-check)"
+    overhead = source.get("overhead_percent")
+    bound = source.get("acceptance_bound_percent")
+    if not isinstance(overhead, dict) or bound is None:
+        gate.fail(f"runtime: {which}: overhead/acceptance metrics missing")
+        return
+    for key, value in sorted(overhead.items()):
+        if not isinstance(value, (int, float)):
+            continue  # prose note fields
+        verdict = "ok" if float(value) <= float(bound) else "REGRESSION"
+        gate.lines.append(
+            f"  runtime.{key:<34} {which}: {float(value):>6.1f}% "
+            f"(bound {float(bound):g}%, {verdict})"
+        )
+        if float(value) > float(bound):
+            gate.failures.append(
+                f"runtime: {key} overhead {value}% exceeds the "
+                f"{bound}% acceptance bound"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        required=True,
+        help="directory holding freshly produced BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD_PCT,
+        metavar="PCT",
+        help="relative slowdown that fails the gate (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    gate = Gate(args.threshold)
+    comparisons = (
+        ("BENCH_sim.json", compare_sim),
+        ("BENCH_telemetry.json", compare_telemetry),
+        ("BENCH_runtime.json", compare_runtime),
+    )
+    for filename, compare in comparisons:
+        baseline = _load(args.baseline_dir / filename)
+        fresh = _load(args.fresh_dir / filename)
+        if baseline is None:
+            gate.fail(f"committed baseline {filename} missing")
+            continue
+        compare(gate, baseline, fresh)
+
+    print(f"bench gate (threshold {args.threshold:g}%)")
+    for line in gate.lines:
+        print(line)
+    if gate.failures:
+        print(f"\nBENCH GATE FAILED: {len(gate.failures)} regression(s)")
+        for failure in gate.failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,14 @@ Usage::
     python -m repro ablations
     python -m repro bench [--smoke]
     python -m repro trace report out.jsonl
+    python -m repro cache stats
     python -m repro all
 
 Campaign subcommands accept ``--trace out.jsonl`` to stream telemetry
 spans/counters (merged across ``--jobs`` worker processes) into a JSONL
-trace, inspected with ``repro trace report`` / ``repro trace validate``.
+trace, inspected with ``repro trace report`` / ``repro trace validate``,
+and ``--cache`` to serve unchanged rows from the content-addressed
+result cache (``repro cache stats|clear|verify``; see docs/CACHING.md).
 """
 
 from __future__ import annotations
@@ -30,6 +33,23 @@ def main(argv: list[str] | None = None) -> int:
         description="OraP (DATE 2020) reproduction — experiment runner",
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
+
+    def add_cache_flags(p) -> None:
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="serve unchanged rows from the content-addressed result "
+            "cache and insert fresh ones (--no-cache disables; "
+            "see `repro cache stats`)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            type=str,
+            default=None,
+            metavar="DIR",
+            help="result-cache root (default .repro-cache; implies --cache)",
+        )
 
     def add_policy_flags(p) -> None:
         p.add_argument(
@@ -73,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
             help="append telemetry spans/counters to this JSONL trace "
             "(merged across --jobs workers)",
         )
+        add_cache_flags(p)
 
     p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
     p1.add_argument("--scale", type=float, default=None)
@@ -98,15 +119,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_policy_flags(pa)
 
-    sub.add_parser("trojans", help="Sect. III Trojan payload table")
-    sub.add_parser("protocol", help="Figs. 1-3 protocol checks")
-    sub.add_parser("ablations", help="design-knob sweeps")
-    sub.add_parser("arms-race", help="Sect. I attack history, replayed")
+    add_cache_flags(sub.add_parser("trojans", help="Sect. III Trojan payload table"))
+    add_cache_flags(sub.add_parser("protocol", help="Figs. 1-3 protocol checks"))
+    add_cache_flags(sub.add_parser("ablations", help="design-knob sweeps"))
+    add_cache_flags(
+        sub.add_parser("arms-race", help="Sect. I attack history, replayed")
+    )
     ps = sub.add_parser("scaling", help="substitution scale-stability study")
     ps.add_argument("--circuit", default="b20")
+    add_cache_flags(ps)
     ph = sub.add_parser("hd-sweep", help="HD saturation curve (Table I rule)")
     ph.add_argument("--circuit", default="b20")
-    sub.add_parser("all", help="every experiment, default parameters")
+    add_cache_flags(ph)
+    add_cache_flags(
+        sub.add_parser("all", help="every experiment, default parameters")
+    )
 
     pb = sub.add_parser(
         "bench",
@@ -137,6 +164,24 @@ def main(argv: list[str] | None = None) -> int:
         help="tiny fixed workload: verifies engine/scalar agreement only "
         "(never fails on timing)",
     )
+
+    pc = sub.add_parser(
+        "cache", help="inspect or maintain the content-addressed result cache"
+    )
+    pc.add_argument(
+        "action",
+        choices=["stats", "clear", "verify"],
+        help="stats: occupancy and per-kind counts; clear: drop every "
+        "entry; verify: audit digests, checksums and the index log",
+    )
+    pc.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="result-cache root (default .repro-cache)",
+    )
+    pc.add_argument("--format", choices=["text", "json"], default="text")
 
     pt = sub.add_parser(
         "trace", help="inspect or validate a telemetry JSONL trace"
@@ -198,6 +243,16 @@ def main(argv: list[str] | None = None) -> int:
             smoke=args.smoke,
         )
 
+    if args.cmd == "cache":
+        from .cache.cli import run_cache_cli
+        from .cache.store import DEFAULT_CACHE_ROOT
+
+        return run_cache_cli(
+            args.action,
+            root=args.cache_dir or DEFAULT_CACHE_ROOT,
+            fmt=args.format,
+        )
+
     if args.cmd == "trace":
         from .telemetry import run_trace_cli
 
@@ -216,6 +271,26 @@ def main(argv: list[str] | None = None) -> int:
             show_info=not args.no_info,
             list_rules=args.rules,
         )
+
+    def cache_dir_of(a) -> "str | None":
+        from .cache.store import DEFAULT_CACHE_ROOT
+
+        cache_flag = getattr(a, "cache", None)
+        cache_dir = getattr(a, "cache_dir", None)
+        if cache_flag is False:
+            return None  # --no-cache beats --cache-dir
+        if cache_flag and cache_dir is None:
+            return DEFAULT_CACHE_ROOT
+        return cache_dir
+
+    # enable the process-global result cache for every campaign command —
+    # harnesses that call run_attack/measure_corruption directly (arms-race,
+    # trojans, ablations...) cache through it even without a RunPolicy
+    resolved_cache_dir = cache_dir_of(args)
+    if resolved_cache_dir is not None:
+        from . import cache as _cache
+
+        _cache.configure(resolved_cache_dir)
 
     from .experiments import (
         DEFAULT_SCALE,
@@ -242,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_dir = DEFAULT_CHECKPOINT_ROOT
         jobs = getattr(a, "jobs", 1)
         trace = getattr(a, "trace", None)
+        cache_dir = cache_dir_of(a)
         if (
             checkpoint_dir is None
             and not a.resume
@@ -249,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
             and a.retries == 0
             and jobs <= 1
             and trace is None
+            and cache_dir is None
         ):
             return None
         return RunPolicy(
@@ -258,6 +335,7 @@ def main(argv: list[str] | None = None) -> int:
             retries=a.retries,
             jobs=jobs,
             trace_path=trace,
+            cache_dir=cache_dir,
         )
 
     if args.cmd == "table1":

@@ -37,10 +37,14 @@ from .fall import fall_attack
 from .hillclimb import HillClimbConfig, hill_climb_attack
 from .oracle import Oracle
 from .removal import removal_attack
-from .result import AttackResult
+from .result import AttackResult, attack_result_from_dict, attack_result_to_dict
 from .satattack import SATAttackConfig, sat_attack
 from .sensitization import SensitizationConfig, sensitization_attack
 from .sps import sps_attack
+
+#: result-cache salt for attack runs — bump whenever any attack's search
+#: semantics change, so stale cached results auto-invalidate
+CACHE_VERSION = 1
 
 
 class AttackTarget(NamedTuple):
@@ -175,6 +179,15 @@ def run_attack(
         The attack's :class:`AttackResult`; the run is wrapped in an
         ``attack.run`` telemetry span and charges the
         ``attack.oracle_queries`` counter.
+
+    When the process-global result cache (:mod:`repro.cache`) is
+    configured, completed ``ok`` runs are served from and inserted into
+    it.  The key covers the attack name, the target's content hashes
+    (locked + original netlist structure, key bits), the oracle's
+    underlying model, every config field (budget caps included) and
+    this module's :data:`CACHE_VERSION`.  Targets or oracles without a
+    stable content address (e.g. :class:`~repro.attacks.oracle.ScanOracle`
+    over live chip state) silently run uncached.
     """
     spec = get_attack(name)
     target = _normalize_target(locked, key_inputs)
@@ -203,13 +216,52 @@ def run_attack(
                 f"got {type(config).__name__}"
             )
         config = config.with_budget(budget)
+    store, ck = _attack_cache_key(name, locked, target, oracle, config)
+    if store is not None and ck is not None:
+        payload = store.get(ck)
+        if payload is not None:
+            cached = attack_result_from_dict(payload)
+            if cached is not None and cached.status == "ok":
+                return cached
     with telemetry.span(
         "attack.run", attack=name, key_width=len(target.key_inputs)
     ) as sp:
         result = spec.run(target, oracle, config)
         sp.set(status=result.status, completed=result.completed)
     telemetry.counter_add("attack.oracle_queries", result.oracle_queries)
+    if store is not None and ck is not None and result.status == "ok":
+        # non-JSON-able note values make put() a silent no-op
+        store.put(ck, attack_result_to_dict(result))
     return result
+
+
+def _attack_cache_key(
+    name: str,
+    locked: "LockedCircuit | Netlist",
+    target: AttackTarget,
+    oracle: "Oracle | None",
+    config: "AttackConfig | None",
+):
+    """(store, key) for one attack run — (None, None) when caching is
+    disabled or any input lacks a stable content address."""
+    from .. import cache as result_cache
+
+    store = result_cache.active()
+    if store is None:
+        return None, None
+    try:
+        ck = result_cache.cache_key(
+            "attack.run",
+            salt=f"attacks.api/{CACHE_VERSION}",
+            attack=name,
+            target=locked if target.circuit is not None else target.locked,
+            key_inputs=list(target.key_inputs),
+            oracle=oracle,
+            config=config,
+        )
+    except result_cache.Uncacheable:
+        return None, None
+    return store, ck
 
 
 # --------------------------------------------------------------------- #

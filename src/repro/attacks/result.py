@@ -41,6 +41,44 @@ class AttackResult:
     notes: dict[str, object] = field(default_factory=dict)
 
 
+def attack_result_to_dict(result: AttackResult) -> dict[str, object]:
+    """JSON-able view of an :class:`AttackResult` (result-cache codec).
+
+    ``notes`` is passed through as-is; callers persisting the dict must
+    tolerate non-JSON-able note values (the cache's write path skips
+    such payloads instead of raising).
+    """
+    return {
+        "attack": result.attack,
+        "recovered_key": result.recovered_key,
+        "completed": result.completed,
+        "iterations": result.iterations,
+        "oracle_queries": result.oracle_queries,
+        "status": result.status,
+        "notes": result.notes,
+    }
+
+
+def attack_result_from_dict(payload: dict) -> AttackResult | None:
+    """Rebuild an :class:`AttackResult`; None when the payload is
+    malformed (a corrupt cached entry degrades to a recompute)."""
+    try:
+        recovered = payload["recovered_key"]
+        if recovered is not None:
+            recovered = {str(k): int(v) for k, v in recovered.items()}
+        return AttackResult(
+            attack=str(payload["attack"]),
+            recovered_key=recovered,
+            completed=bool(payload["completed"]),
+            iterations=int(payload["iterations"]),
+            oracle_queries=int(payload["oracle_queries"]),
+            status=str(payload["status"]),
+            notes=dict(payload.get("notes") or {}),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None
+
+
 def exhausted_result(
     attack: str,
     exc: ResourceExhausted,

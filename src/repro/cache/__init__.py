@@ -1,0 +1,85 @@
+"""Content-addressed result cache: never recompute an identical row.
+
+The heaviest cost in every campaign re-run is recomputing experiment
+rows and attack results whose inputs — netlist content, scheme
+parameters, attack config, seed — have not changed.  This package is
+the durable memoization layer that removes that waste:
+
+* :mod:`repro.cache.keys` — cache-key derivation (blake2b over netlist
+  structure hashes, dataclass config fields, seeds, and per-module
+  ``CACHE_VERSION`` salts);
+* :mod:`repro.cache.store` — the disk store (atomic writes, paranoid
+  reads, append-only index, size-bounded LRU eviction, multiprocess
+  safe);
+* this module — the **active cache**: process-global like
+  :mod:`repro.telemetry`, disabled by default, enabled by
+  :func:`configure` (which the ``--cache`` CLI flags and
+  ``RunPolicy.cache_dir`` call).  Instrumented call sites —
+  ``ExperimentRunner.run_rows``, :func:`repro.attacks.api.run_attack`,
+  :func:`repro.sim.metrics.measure_corruption` — consult
+  :func:`active` and skip caching entirely when it returns None, so the
+  cold path costs one module-attribute read.
+
+See ``docs/CACHING.md`` for key-derivation and invalidation rules.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .keys import CacheKey, Uncacheable, cache_key, normalize
+from .store import (
+    CACHE_FORMAT,
+    DEFAULT_CACHE_ROOT,
+    DEFAULT_MAX_BYTES,
+    CacheStats,
+    ResultCache,
+)
+
+_active: ResultCache | None = None
+
+
+def configure(
+    root: str | os.PathLike = DEFAULT_CACHE_ROOT,
+    max_bytes: int | None = DEFAULT_MAX_BYTES,
+) -> ResultCache:
+    """Enable the process-global result cache rooted at ``root``.
+
+    Re-configuring with the same root reuses the existing instance (so
+    session hit/miss counters survive); a different root replaces it.
+    Worker processes call this on entry (via ``RunPolicy.cache_dir``)
+    the same way they join the telemetry trace.
+    """
+    global _active
+    if _active is not None and str(_active.root) == str(root):
+        _active.max_bytes = max_bytes
+        return _active
+    _active = ResultCache(root, max_bytes=max_bytes)
+    return _active
+
+
+def active() -> ResultCache | None:
+    """The process-global cache, or None when caching is disabled."""
+    return _active
+
+
+def disable() -> None:
+    """Disable the process-global cache (entries stay on disk)."""
+    global _active
+    _active = None
+
+
+__all__ = [
+    "CACHE_FORMAT",
+    "DEFAULT_CACHE_ROOT",
+    "DEFAULT_MAX_BYTES",
+    "CacheKey",
+    "CacheStats",
+    "ResultCache",
+    "Uncacheable",
+    "active",
+    "cache_key",
+    "configure",
+    "disable",
+    "normalize",
+]

@@ -1,0 +1,210 @@
+"""Cache-key derivation: content-addressing for experiment inputs.
+
+A cache key must change exactly when the result could change.  The
+digest therefore covers, for every part the caller passes:
+
+* **netlists by content, not identity** — a :class:`~repro.netlist.Netlist`
+  normalizes to its :func:`~repro.sim.optape.netlist_fingerprint` (the
+  same blake2b structure hash the op-tape compile cache uses), so two
+  regenerated-but-identical circuits share entries while a single gate
+  edit invalidates them;
+* **schemes and configs by field** — dataclasses normalize to their
+  qualified type name plus every field value, so changing any config
+  knob (or renaming the class) produces a fresh key;
+* **a per-module version salt** — every caching call site passes
+  ``salt=f"{module}/{CACHE_VERSION}"``; bumping that module's
+  ``CACHE_VERSION`` when its semantics change auto-invalidates all of
+  its entries without touching anyone else's.
+
+Objects with runtime identity but no stable content (open oracles over
+physical chips, callables, arbitrary class instances) raise
+:class:`Uncacheable`; call sites catch it and silently skip caching —
+an exotic input degrades to "not cached", never to a wrong hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from ..runtime.budget import Budget
+from ..runtime.codec import canonical_dumps
+
+#: bytes of blake2b digest per key (32 hex chars — filename-friendly,
+#: collision-safe for any realistic campaign volume)
+_DIGEST_SIZE = 16
+
+
+class Uncacheable(TypeError):
+    """An input has no stable content representation; skip caching."""
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """A derived cache key: the digest plus its human-readable recipe.
+
+    Attributes:
+        digest: hex blake2b over the canonical key material — the
+            content address (and entry filename) in the store.
+        kind: namespace of the producing call site
+            (``"experiment.row"``, ``"attack.run"``, ``"sim.corruption"``).
+        description: the normalized key material itself, persisted
+            alongside the payload so ``repro cache verify`` (and humans)
+            can audit what an entry claims to be.
+    """
+
+    digest: str
+    kind: str
+    description: dict[str, Any]
+
+
+def normalize(obj: Any) -> Any:
+    """Reduce an input to canonical JSON-able key material.
+
+    Handles primitives, sequences, string-keyed mappings, dataclasses
+    (type-qualified), :class:`Budget` (caps only — its consumed state is
+    runtime progress, not an input), netlists and locked circuits (by
+    structure hash), and oracles over netlists.  Raises
+    :class:`Uncacheable` for anything else.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if isinstance(obj, (list, tuple)):
+        return [normalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        try:
+            ordered = sorted(obj)
+        except TypeError as exc:
+            raise Uncacheable(f"unorderable set in cache key: {obj!r}") from exc
+        return {"__set__": [normalize(v) for v in ordered]}
+    if isinstance(obj, dict):
+        out = {}
+        for k in sorted(obj, key=str):
+            if not isinstance(k, str):
+                raise Uncacheable(
+                    f"non-string mapping key in cache key: {k!r}"
+                )
+            out[k] = normalize(obj[k])
+        return out
+    if isinstance(obj, Budget):
+        return {
+            "__budget__": {
+                "wall_s": obj.wall_s,
+                "max_conflicts": obj.max_conflicts,
+                "max_backtracks": obj.max_backtracks,
+                "max_patterns": obj.max_patterns,
+            }
+        }
+    # Netlist / LockedCircuit / oracles — imported lazily to keep this
+    # module import-light (it is pulled in by runtime-adjacent layers).
+    from ..netlist import Netlist
+
+    if isinstance(obj, Netlist):
+        from ..sim.optape import netlist_fingerprint
+
+        return {"__netlist__": netlist_fingerprint(obj)}
+    from ..locking import LockedCircuit
+
+    if isinstance(obj, LockedCircuit):
+        from ..sim.optape import netlist_fingerprint
+
+        return {
+            "__locked_circuit__": {
+                "scheme": obj.scheme,
+                "locked": netlist_fingerprint(obj.locked),
+                "original": netlist_fingerprint(obj.original),
+                "key_inputs": list(obj.key_inputs),
+                "correct_key": [
+                    int(obj.correct_key[k]) for k in obj.key_inputs
+                ],
+                "key_gate_nets": list(obj.key_gate_nets),
+                "extra": _normalize_extra(obj.extra),
+            }
+        }
+    oracle = _normalize_oracle(obj)
+    if oracle is not None:
+        return oracle
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: normalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__qualname__, "fields": fields}
+    raise Uncacheable(
+        f"cannot derive stable cache-key material from "
+        f"{type(obj).__qualname__} instance"
+    )
+
+
+def _normalize_extra(extra: dict[str, Any]) -> Any:
+    """LockedCircuit.extra may hold netlist-valued metadata; recurse,
+    replacing anything uncacheable with a type marker (the scheme name
+    and structure hashes already pin the circuit's identity)."""
+    out = {}
+    for k in sorted(extra, key=str):
+        try:
+            out[str(k)] = normalize(extra[k])
+        except Uncacheable:
+            out[str(k)] = {"__opaque__": type(extra[k]).__qualname__}
+    return out
+
+
+def _normalize_oracle(obj: Any) -> Any | None:
+    """Normalize the known oracle types; None when ``obj`` is not one.
+
+    An oracle's responses are fully determined by its underlying model,
+    so that is what gets hashed.  Oracles over stateful chips
+    (:class:`~repro.attacks.oracle.ScanOracle`) are deliberately
+    *uncacheable*: their behaviour depends on protocol state we do not
+    model in the key.
+    """
+    from ..attacks.oracle import CountingOracle, IdealOracle, ScanOracle
+    from ..sim.optape import netlist_fingerprint
+
+    if isinstance(obj, IdealOracle):
+        return {"__oracle__": "IdealOracle",
+                "netlist": netlist_fingerprint(obj.netlist)}
+    if isinstance(obj, CountingOracle):
+        inner = _normalize_oracle(obj.inner)
+        if inner is None:
+            raise Uncacheable(
+                f"CountingOracle wraps uncacheable "
+                f"{type(obj.inner).__qualname__}"
+            )
+        return {"__oracle__": "CountingOracle", "inner": inner,
+                "max_queries": obj.max_queries}
+    if isinstance(obj, ScanOracle):
+        raise Uncacheable(
+            "ScanOracle responses depend on chip protocol state; refusing "
+            "to cache attack results measured through one"
+        )
+    return None
+
+
+def cache_key(kind: str, salt: str, **parts: Any) -> CacheKey:
+    """Derive the :class:`CacheKey` for one cacheable computation.
+
+    Args:
+        kind: call-site namespace (becomes part of the digest and the
+            entry metadata).
+        salt: version salt, conventionally ``f"{module}/{CACHE_VERSION}"``
+            — bump the module's ``CACHE_VERSION`` to invalidate every
+            entry it ever wrote.
+        **parts: the inputs that determine the result; each is
+            normalized via :func:`normalize` (raises
+            :class:`Uncacheable` when any part has no stable content).
+    """
+    description = {
+        "kind": kind,
+        "salt": salt,
+        "parts": {name: normalize(value) for name, value in parts.items()},
+    }
+    material = canonical_dumps(description)
+    digest = hashlib.blake2b(
+        material.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+    return CacheKey(digest=digest, kind=kind, description=description)

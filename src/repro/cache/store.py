@@ -1,0 +1,428 @@
+"""Disk-backed, content-addressed result store.
+
+Layout (everything under one root, default ``.repro-cache/``)::
+
+    <root>/
+        VERSION               # on-disk format number (mismatch = wipe)
+        index.jsonl           # append-only event log (insert/evict/clear)
+        entries/<dg[:2]>/<digest>.json   # one entry per cache key
+
+Each entry file is a self-describing envelope: the format number, the
+key's digest *and* its full human-readable recipe (so ``repro cache
+verify`` can audit what an entry claims to be), a checksum over the
+canonical payload bytes (tamper/bit-rot detection), and the payload
+itself.  Entry writes go through the shared
+:mod:`repro.runtime.codec` atomic-write path, and the index is an
+O_APPEND single-``write`` JSONL log, so any number of ``--jobs``
+worker processes can insert concurrently: the worst race is two
+processes computing the same row and replacing each other's identical
+entry.
+
+Reads are paranoid: a truncated, corrupted, or tampered entry degrades
+to a **miss** (and is unlinked so the slot heals on the next insert) —
+never to an exception, never to trusted garbage.
+
+Eviction is size-bounded LRU: a hit bumps the entry's mtime, and when
+the store grows past ``max_bytes`` the oldest-mtime entries are deleted
+until it fits.  Every lookup emits ``cache.hit``/``cache.miss``
+telemetry counters under a ``cache.lookup`` span; evictions charge
+``cache.evict``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from .. import telemetry
+from ..runtime.codec import (
+    CodecError,
+    atomic_write_text,
+    canonical_dumps,
+    read_json,
+)
+from .keys import CacheKey, _DIGEST_SIZE
+import hashlib
+
+#: on-disk format; bumping it wipes (rather than misreads) old stores
+CACHE_FORMAT = 1
+
+#: default cache root, relative to the CWD (sibling of .repro-checkpoints)
+DEFAULT_CACHE_ROOT = ".repro-cache"
+
+#: default size bound — generous for row dicts (a full E1-E5 campaign's
+#: entries are a few MiB), small enough to forget about
+DEFAULT_MAX_BYTES = 512 << 20
+
+
+def _value_checksum(payload: Any) -> str:
+    """Checksum over the canonical payload bytes (tamper detection)."""
+    return hashlib.blake2b(
+        canonical_dumps(payload).encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """One snapshot of a store plus this process's session counters."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    max_bytes: int | None = None
+    by_kind: dict[str, int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view (CLI output)."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "corrupt_dropped": self.corrupt_dropped,
+            },
+        }
+
+
+class ResultCache:
+    """Content-addressed result store with LRU size bounding."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike = DEFAULT_CACHE_ROOT,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.entries_dir = self.root / "entries"
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / "index.jsonl"
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt_dropped = 0
+        self._check_format()
+
+    # ------------------------------------------------------------------ #
+    # format guard
+
+    def _check_format(self) -> None:
+        """Wipe stores written by an incompatible on-disk format."""
+        version_file = self.root / "VERSION"
+        try:
+            stored = int(version_file.read_text().strip())
+        except (FileNotFoundError, ValueError):
+            stored = None
+        if stored is not None and stored != CACHE_FORMAT:
+            self.clear()
+        if stored != CACHE_FORMAT:
+            atomic_write_text(version_file, f"{CACHE_FORMAT}\n")
+
+    # ------------------------------------------------------------------ #
+    # paths and scanning
+
+    def entry_path(self, digest: str) -> Path:
+        """Filesystem location of one digest's entry."""
+        return self.entries_dir / digest[:2] / f"{digest}.json"
+
+    def iter_entries(self) -> Iterator[tuple[str, Path, os.stat_result]]:
+        """Yield ``(digest, path, stat)`` for every entry on disk.
+
+        Entries deleted concurrently (eviction in another process) are
+        skipped silently.
+        """
+        for path in sorted(self.entries_dir.glob("*/*.json")):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            yield path.stem, path, st
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by entry files."""
+        return sum(st.st_size for _, _, st in self.iter_entries())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_entries())
+
+    # ------------------------------------------------------------------ #
+    # lookup / insert
+
+    def get(self, key: CacheKey) -> dict[str, Any] | None:
+        """Return the cached payload for ``key``, or None on a miss.
+
+        Corrupt or tampered entries (parse failure, digest mismatch,
+        value-checksum mismatch) count as misses and are unlinked so the
+        slot heals on the next insert.
+        """
+        path = self.entry_path(key.digest)
+        with telemetry.span("cache.lookup", kind=key.kind) as sp:
+            envelope: dict[str, Any] | None
+            try:
+                envelope = read_json(path)
+            except CodecError:
+                envelope = None
+                self._drop_corrupt(path, key.digest)
+            payload = self._validate(envelope, key.digest)
+            if payload is None:
+                if envelope is not None:
+                    self._drop_corrupt(path, key.digest)
+                self.misses += 1
+                telemetry.counter_add("cache.miss")
+                sp.set(hit=False)
+                return None
+            try:
+                # LRU recency: a hit makes the entry young again
+                os.utime(path, None)
+            except OSError:
+                pass
+            self.hits += 1
+            telemetry.counter_add("cache.hit")
+            sp.set(hit=True)
+            return payload
+
+    def _validate(
+        self, envelope: dict[str, Any] | None, digest: str
+    ) -> dict[str, Any] | None:
+        """The envelope checks shared by :meth:`get` and :meth:`verify`."""
+        if envelope is None:
+            return None
+        if envelope.get("format") != CACHE_FORMAT:
+            return None
+        if envelope.get("digest") != digest:
+            return None
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if envelope.get("value_checksum") != _value_checksum(payload):
+            return None
+        return payload
+
+    def _drop_corrupt(self, path: Path, digest: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self.corrupt_dropped += 1
+        self._append_index("drop-corrupt", digest)
+
+    def put(self, key: CacheKey, payload: dict[str, Any]) -> Path | None:
+        """Insert one payload under ``key``; returns the entry path.
+
+        A payload that cannot be canonically serialized (exotic values
+        smuggled into a row dict) is skipped with a None return — the
+        cache never raises on the write path.
+        """
+        envelope = {
+            "format": CACHE_FORMAT,
+            "kind": key.kind,
+            "digest": key.digest,
+            "key": key.description,
+            "value_checksum": None,
+            "payload": payload,
+            "created": time.time(),
+        }
+        try:
+            envelope["value_checksum"] = _value_checksum(payload)
+            text = canonical_dumps(envelope)
+        except (TypeError, ValueError):
+            return None
+        path = self.entry_path(key.digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, text, fault_site="cache.put")
+        self._append_index("insert", key.digest, kind=key.kind,
+                           bytes=len(text))
+        self._maybe_evict()
+        return path
+
+    # ------------------------------------------------------------------ #
+    # index log
+
+    def _append_index(self, op: str, digest: str, **extra: Any) -> None:
+        """Append one event line (single O_APPEND write: safe for many
+        concurrent worker processes)."""
+        record = {"op": op, "digest": digest, "ts": time.time(),
+                  "pid": os.getpid(), **extra}
+        line = (canonical_dumps(record) + "\n").encode("utf-8")
+        fd = os.open(
+            self._index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def index_events(self) -> Iterator[dict[str, Any]]:
+        """Parse the index log, skipping torn/corrupt lines."""
+        import json
+
+        try:
+            fh = open(self._index_path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def _live_set_from_index(self) -> set[str]:
+        """Digests the index log says should currently be on disk."""
+        live: set[str] = set()
+        for ev in self.index_events():
+            op = ev.get("op")
+            digest = ev.get("digest")
+            if op == "insert" and isinstance(digest, str):
+                live.add(digest)
+            elif op in ("evict", "drop-corrupt") and isinstance(digest, str):
+                live.discard(digest)
+            elif op == "clear":
+                live.clear()
+        return live
+
+    # ------------------------------------------------------------------ #
+    # eviction / clearing
+
+    def _maybe_evict(self) -> None:
+        if self.max_bytes is None:
+            return
+        entries = list(self.iter_entries())
+        total = sum(st.st_size for _, _, st in entries)
+        if total <= self.max_bytes:
+            return
+        # oldest-mtime first: hits refresh mtime, so this is LRU
+        entries.sort(key=lambda e: e[2].st_mtime)
+        for digest, path, st in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= st.st_size
+            self.evictions += 1
+            telemetry.counter_add("cache.evict")
+            self._append_index("evict", digest, bytes=st.st_size)
+
+    def clear(self) -> int:
+        """Delete every entry (and the index log); returns entries removed."""
+        removed = 0
+        for _digest, path, _st in list(self.iter_entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for stray in self.entries_dir.glob("*/.*.json.tmp"):
+            try:
+                stray.unlink()
+            except OSError:
+                pass
+        try:
+            self._index_path.unlink()
+        except OSError:
+            pass
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def stats(self) -> CacheStats:
+        """Scan the store and report occupancy plus session counters."""
+        by_kind: dict[str, int] = {}
+        entries = 0
+        total = 0
+        for _digest, path, st in self.iter_entries():
+            entries += 1
+            total += st.st_size
+            try:
+                envelope = read_json(path)
+            except CodecError:
+                kind = "<corrupt>"
+            else:
+                kind = str((envelope or {}).get("kind", "<unknown>"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return CacheStats(
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total,
+            max_bytes=self.max_bytes,
+            by_kind=by_kind,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            corrupt_dropped=self.corrupt_dropped,
+        )
+
+    def verify(self) -> list[str]:
+        """Audit every entry and the index; returns problem strings.
+
+        Checks each entry parses, carries the current format, is filed
+        under its own digest, and that its payload matches the recorded
+        checksum (tampering/bit rot).  Then replays the index log and
+        reports disagreements between it and the directory scan.  An
+        empty list means the store is self-consistent.
+        """
+        problems: list[str] = []
+        on_disk: set[str] = set()
+        for digest, path, _st in self.iter_entries():
+            on_disk.add(digest)
+            try:
+                envelope = read_json(path)
+            except CodecError as exc:
+                problems.append(f"{path}: unreadable entry ({exc})")
+                continue
+            if envelope is None:
+                problems.append(f"{path}: entry vanished mid-verify")
+                continue
+            if envelope.get("format") != CACHE_FORMAT:
+                problems.append(
+                    f"{path}: format {envelope.get('format')!r} != "
+                    f"{CACHE_FORMAT}"
+                )
+                continue
+            if envelope.get("digest") != digest:
+                problems.append(
+                    f"{path}: filed under {digest} but claims digest "
+                    f"{envelope.get('digest')!r}"
+                )
+                continue
+            payload = envelope.get("payload")
+            if not isinstance(payload, dict):
+                problems.append(f"{path}: payload is not a dict")
+                continue
+            if envelope.get("value_checksum") != _value_checksum(payload):
+                problems.append(
+                    f"{path}: payload checksum mismatch (tampered or rotted)"
+                )
+        indexed = self._live_set_from_index()
+        for digest in sorted(indexed - on_disk):
+            problems.append(
+                f"index lists {digest} but no entry file exists"
+            )
+        for digest in sorted(on_disk - indexed):
+            problems.append(
+                f"entry {digest} on disk but absent from the index log"
+            )
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

@@ -28,17 +28,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
+from .. import cache as result_cache
 from .. import telemetry
+from ..cache.keys import Uncacheable
 from ..runtime import faultinject
 from ..runtime.budget import Budget
 from ..runtime.checkpoint import CheckpointStore
+from ..runtime.codec import outcome_to_payload, payload_to_outcome
 from ..runtime.outcome import RunOutcome, RunStatus, run_with_retry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache import CacheKey, ResultCache
     from ..lint.diagnostics import LintReport
 
 #: default location for experiment checkpoints, relative to the CWD
 DEFAULT_CHECKPOINT_ROOT = ".repro-checkpoints"
+
+#: bump when row semantics change in a way the fingerprint cannot see —
+#: every row-level result-cache entry is salted with this
+CACHE_VERSION = 1
 
 #: checkpoint statuses that are reused on resume; ``error`` rows are
 #: always recomputed (that is what the retry policy exists for)
@@ -64,6 +72,13 @@ class RunPolicy:
             every pool worker) configures :mod:`repro.telemetry` to
             append there, so one merged trace carries the spans of all
             processes.  None (default) leaves telemetry untouched.
+        cache_dir: root of the content-addressed result cache
+            (:mod:`repro.cache`); the runner (and every pool worker)
+            configures the process-global cache there, so completed
+            ``ok`` rows are served from disk on the next identical run.
+            None (default) disables result caching.
+        cache_max_bytes: LRU size bound for the result cache (None =
+            the store's default).
     """
 
     checkpoint_dir: str | Path | None = None
@@ -76,6 +91,8 @@ class RunPolicy:
     backoff_s: float = 0.0
     jobs: int = 1
     trace_path: str | Path | None = None
+    cache_dir: str | Path | None = None
+    cache_max_bytes: int | None = None
 
     def budget_factory(self) -> Callable[[], Budget | None] | None:
         """Factory for fresh per-attempt budgets (None when unlimited)."""
@@ -115,6 +132,25 @@ class RowTask:
     preflight_args: tuple[Any, ...] = ()
 
 
+def _configure_policy_cache(policy: RunPolicy) -> "ResultCache | None":
+    """Enable the process-global result cache a policy asks for.
+
+    Runs in the parent (runner construction) and in every pool worker
+    (so the inner ``measure_corruption``/``run_attack`` calls of a row
+    hit the same disk store).  A policy without ``cache_dir`` leaves the
+    global cache untouched — campaigns do not disable caching someone
+    else enabled.
+    """
+    if policy.cache_dir is None:
+        return None
+    max_bytes = (
+        policy.cache_max_bytes
+        if policy.cache_max_bytes is not None
+        else result_cache.DEFAULT_MAX_BYTES
+    )
+    return result_cache.configure(policy.cache_dir, max_bytes=max_bytes)
+
+
 def _pool_worker(
     compute: Callable[..., Any],
     args: tuple[Any, ...],
@@ -135,6 +171,7 @@ def _pool_worker(
     """
     if policy.trace_path is not None:
         telemetry.configure(path=policy.trace_path)
+    _configure_policy_cache(policy)
     with telemetry.span(
         "experiment.row", experiment=experiment, key=key
     ) as sp:
@@ -181,8 +218,10 @@ class ExperimentRunner:
             )
         self.rows_reused = 0
         self.rows_computed = 0
+        self.rows_cached = 0
         if self.policy.trace_path is not None:
             telemetry.configure(path=self.policy.trace_path)
+        self.cache = _configure_policy_cache(self.policy)
 
     # ------------------------------------------------------------------ #
 
@@ -221,6 +260,11 @@ class ExperimentRunner:
             if cached is not None:
                 self.rows_reused += 1
                 return cached
+
+        hit = self._cache_lookup(key, encode, decode)
+        if hit is not None:
+            self.rows_cached += 1
+            return hit
 
         if preflight is not None:
             failed = self._run_preflight(key, preflight, preflight_args)
@@ -286,6 +330,11 @@ class ExperimentRunner:
                         self.rows_reused += 1
                         results[i] = cached
                         continue
+                hit = self._cache_lookup(t.key, t.encode, t.decode)
+                if hit is not None:
+                    self.rows_cached += 1
+                    results[i] = hit
+                    continue
                 if t.preflight is not None:
                     failed = self._run_preflight(
                         t.key, t.preflight, t.preflight_args
@@ -309,28 +358,75 @@ class ExperimentRunner:
                 results[i] = outcome
         return [r for r in results if r is not None]
 
+    def _row_cache_key(self, key: str) -> "CacheKey | None":
+        """Content-addressed key of one row (None when underivable).
+
+        The row-level key covers the same contract resume already
+        documents: the fingerprint dict must name every parameter that
+        affects row values.  The experiment name, the row key and the
+        module :data:`CACHE_VERSION` salt complete the address.
+        """
+        try:
+            return result_cache.cache_key(
+                "experiment.row",
+                salt=f"experiments.runner/{CACHE_VERSION}",
+                experiment=self.experiment,
+                row=key,
+                fingerprint=self.fingerprint,
+            )
+        except Uncacheable:
+            return None
+
+    def _cache_lookup(
+        self,
+        key: str,
+        encode: Callable[[Any], dict] | None,
+        decode: Callable[[dict], Any] | None,
+    ) -> RunOutcome | None:
+        """Serve one row from the result cache (None on miss/disabled)."""
+        if self.cache is None:
+            return None
+        ck = self._row_cache_key(key)
+        if ck is None:
+            return None
+        payload = self.cache.get(ck)
+        if payload is None:
+            return None
+        outcome = payload_to_outcome(payload, decode, provenance="result_cache")
+        if outcome is None or outcome.status is not RunStatus.OK:
+            return None
+        # keep the checkpoint layer in step so --resume sees this row too
+        if self.store is not None:
+            self.store.save(
+                key, outcome_to_payload(outcome, encode, self.fingerprint)
+            )
+        return outcome
+
     def _save_outcome(
         self,
         key: str,
         outcome: RunOutcome,
         encode: Callable[[Any], dict] | None,
     ) -> None:
-        if self.store is None:
-            return
-        value = outcome.value
-        self.store.save(
-            key,
-            {
-                "fingerprint": self.fingerprint,
-                "status": outcome.status.value,
-                "row": encode(value)
-                if (encode is not None and value is not None)
-                else value,
-                "elapsed_s": round(outcome.elapsed_s, 6),
-                "attempts": outcome.attempts,
-                "error": outcome.error,
-            },
-        )
+        """Persist one computed row: checkpoint always, cache when ``ok``.
+
+        Only ``ok`` rows enter the result cache — a timeout or budget
+        verdict depends on the machine and the moment, so replaying it
+        from a cache would freeze a transient into a fact.  (Checkpoints
+        keep those verdicts; that is resume's job.)
+        """
+        payload = None
+        if self.store is not None:
+            payload = outcome_to_payload(outcome, encode, self.fingerprint)
+            self.store.save(key, payload)
+        if self.cache is not None and outcome.status is RunStatus.OK:
+            ck = self._row_cache_key(key)
+            if ck is not None:
+                if payload is None:
+                    payload = outcome_to_payload(
+                        outcome, encode, self.fingerprint
+                    )
+                self.cache.put(ck, payload)
 
     def _run_preflight(
         self,
@@ -370,15 +466,11 @@ class ExperimentRunner:
         if self.store is not None:
             self.store.save(
                 key,
-                {
-                    "fingerprint": self.fingerprint,
-                    "status": outcome.status.value,
-                    "row": None,
-                    "elapsed_s": 0.0,
-                    "attempts": 1,
-                    "error": outcome.error,
-                    "lint": outcome.diagnostics.get("lint", []),
-                },
+                outcome_to_payload(
+                    outcome,
+                    fingerprint=self.fingerprint,
+                    extra={"lint": outcome.diagnostics.get("lint", [])},
+                ),
             )
         return outcome
 
@@ -391,16 +483,6 @@ class ExperimentRunner:
             return None
         if payload.get("fingerprint") != self.fingerprint:
             return None
-        status = payload.get("status")
-        if status not in _REUSABLE:
+        if payload.get("status") not in _REUSABLE:
             return None
-        raw = payload.get("row")
-        value = decode(raw) if (decode is not None and raw is not None) else raw
-        return RunOutcome(
-            status=RunStatus(status),
-            value=value,
-            elapsed_s=float(payload.get("elapsed_s", 0.0)),
-            error=payload.get("error"),
-            attempts=int(payload.get("attempts", 1)),
-            diagnostics={"cached": True},
-        )
+        return payload_to_outcome(payload, decode, provenance="cached")

@@ -6,13 +6,15 @@ Layout: one directory per experiment, one JSON file per row::
         row-<key>.json      # one completed (or failed) row
         ...
 
-Writes are atomic — serialize to a temp file in the same directory, then
-``os.replace`` — so a checkpoint is either entirely present or entirely
-absent no matter where the process died.  Reads are paranoid: a
-truncated or corrupted file (torn write, bit rot) is treated as missing
-and remembered in :attr:`CheckpointStore.corrupted` so the harness
-recomputes and overwrites the row instead of crashing or trusting
-garbage.
+Serialization and durability live in :mod:`repro.runtime.codec` (shared
+with the content-addressed result cache so the two layers cannot
+drift): writes are atomic — canonical JSON to a temp file in the same
+directory, then ``os.replace`` — so a checkpoint is either entirely
+present or entirely absent no matter where the process died.  Reads are
+paranoid: a truncated or corrupted file (torn write, bit rot) is
+treated as missing and remembered in :attr:`CheckpointStore.corrupted`
+so the harness recomputes and overwrites the row instead of crashing or
+trusting garbage.
 
 The payload written by :class:`repro.experiments.runner.ExperimentRunner`
 is an envelope ``{"schema", "experiment", "key", "fingerprint", "status",
@@ -21,13 +23,12 @@ is an envelope ``{"schema", "experiment", "key", "fingerprint", "status",
 
 from __future__ import annotations
 
-import json
 import os
 import re
 from pathlib import Path
 from typing import Any, Iterator
 
-from . import faultinject
+from .codec import CodecError, atomic_write_json, read_json
 
 _KEY_RE = re.compile(r"[^A-Za-z0-9._=-]+")
 
@@ -57,38 +58,17 @@ class CheckpointStore:
 
     def save(self, key: str, payload: dict[str, Any]) -> Path:
         """Atomically persist one row (temp file + rename)."""
-        final = self.path_for(key)
-        tmp = final.with_name(f".{final.name}.tmp")
-        text = json.dumps(payload, sort_keys=True, indent=None)
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
-        if faultinject.enabled:
-            # a crash here must leave only the temp file behind
-            faultinject.fire("checkpoint.save")
-        os.replace(tmp, final)
-        return final
+        return atomic_write_json(
+            self.path_for(key), payload, fault_site="checkpoint.save"
+        )
 
     def load(self, key: str) -> dict[str, Any] | None:
         """Return a row's payload, or None when absent or corrupt."""
-        path = self.path_for(key)
         try:
-            text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return None
-        except OSError:
+            return read_json(self.path_for(key))
+        except CodecError:
             self.corrupted.append(key)
             return None
-        try:
-            payload = json.loads(text)
-        except ValueError:
-            self.corrupted.append(key)
-            return None
-        if not isinstance(payload, dict):
-            self.corrupted.append(key)
-            return None
-        return payload
 
     def discard(self, key: str) -> None:
         """Delete one row's checkpoint if present."""

@@ -1,0 +1,173 @@
+"""Shared row/payload serialization codec.
+
+Both durable stores in this codebase — the per-row
+:class:`~repro.runtime.checkpoint.CheckpointStore` behind ``--resume``
+and the content-addressed :class:`~repro.cache.ResultCache` behind
+``--cache`` — persist the *same* shape of data: a JSON envelope wrapping
+one experiment row (or attack result) plus its outcome metadata.  They
+also share the same durability discipline:
+
+* **canonical serialization** — :func:`canonical_dumps` (sorted keys,
+  compact separators) so identical payloads produce identical bytes,
+  which is what makes content-addressing and byte-identical warm re-runs
+  possible;
+* **atomic writes** — :func:`atomic_write_text` (temp file in the same
+  directory, fsync, ``os.replace``) so a payload is either entirely
+  present or entirely absent no matter where the process died;
+* **paranoid reads** — :func:`read_json` raises :class:`CodecError` on a
+  truncated or corrupted file (torn write, bit rot) instead of returning
+  garbage; callers degrade to a recompute/miss.
+
+The row envelope itself (``{"fingerprint", "status", "row", ...}``) is
+encoded/decoded by :func:`outcome_to_payload` / :func:`payload_to_outcome`
+so the checkpoint and cache layers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from . import faultinject
+from .outcome import RunOutcome, RunStatus
+
+
+class CodecError(ValueError):
+    """A persisted payload could not be decoded (corrupt/truncated)."""
+
+
+def canonical_dumps(payload: Any) -> str:
+    """Serialize to canonical JSON: sorted keys, compact separators.
+
+    Identical payloads always produce identical bytes — the property the
+    content-addressed cache digests rely on.  Raises :class:`TypeError`
+    for non-JSON-able values (callers decide whether that means "skip
+    caching" or "bug").
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    fault_site: str | None = None,
+) -> Path:
+    """Atomically write ``text`` to ``path`` (temp + fsync + rename).
+
+    ``fault_site``, when given, names a :mod:`repro.runtime.faultinject`
+    site fired *between* the temp-file fsync and the rename — the
+    robustness suite uses it to prove a crash leaves only the temp file
+    behind.
+    """
+    final = Path(path)
+    tmp = final.with_name(f".{final.name}.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if fault_site is not None and faultinject.enabled:
+        # a crash here must leave only the temp file behind
+        faultinject.fire(fault_site)
+    os.replace(tmp, final)
+    return final
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    payload: Any,
+    fault_site: str | None = None,
+) -> Path:
+    """Atomically write a payload as canonical JSON."""
+    return atomic_write_text(path, canonical_dumps(payload), fault_site)
+
+
+def read_json(path: str | os.PathLike) -> dict[str, Any] | None:
+    """Read a JSON dict persisted by :func:`atomic_write_json`.
+
+    Returns None when the file does not exist; raises
+    :class:`CodecError` when it exists but cannot be decoded to a dict
+    (torn write, bit rot, tampering).  Callers treat the error as "entry
+    absent, recompute" — never as trusted data.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise CodecError(f"unreadable payload file {p}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise CodecError(f"corrupt payload file {p}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CodecError(
+            f"payload file {p} holds {type(payload).__name__}, expected dict"
+        )
+    return payload
+
+
+# --------------------------------------------------------------------- #
+# the row envelope shared by CheckpointStore users and ResultCache users
+
+
+def outcome_to_payload(
+    outcome: RunOutcome,
+    encode: Callable[[Any], dict] | None = None,
+    fingerprint: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Encode one :class:`RunOutcome` as the durable row envelope.
+
+    ``encode`` converts the row value to a JSON-able dict (omitted when
+    the raw value is already JSON-able).  ``fingerprint`` is the
+    campaign-parameter dict resume/caching compare against; ``extra``
+    merges additional fields (e.g. lint diagnostics) into the envelope.
+    """
+    value = outcome.value
+    payload: dict[str, Any] = {
+        "fingerprint": fingerprint or {},
+        "status": outcome.status.value,
+        "row": encode(value)
+        if (encode is not None and value is not None)
+        else value,
+        "elapsed_s": round(outcome.elapsed_s, 6),
+        "attempts": outcome.attempts,
+        "error": outcome.error,
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def payload_to_outcome(
+    payload: dict[str, Any],
+    decode: Callable[[dict], Any] | None = None,
+    provenance: str = "cached",
+) -> RunOutcome | None:
+    """Decode a row envelope back into a :class:`RunOutcome`.
+
+    Returns None when the envelope is malformed (missing/unknown status)
+    — corrupt durable state degrades to a recompute, never an exception.
+    ``provenance`` labels the outcome's diagnostics (``{"cached": True}``
+    vs ``{"result_cache": True}``) so reports can tell the layers apart.
+    """
+    status = payload.get("status")
+    try:
+        run_status = RunStatus(status)
+    except ValueError:
+        return None
+    raw = payload.get("row")
+    value = decode(raw) if (decode is not None and raw is not None) else raw
+    return RunOutcome(
+        status=run_status,
+        value=value,
+        elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        error=payload.get("error"),
+        attempts=int(payload.get("attempts", 1)),
+        diagnostics={provenance: True},
+    )

@@ -25,6 +25,11 @@ from .bitsim import (
 from .optape import compile_engine
 from .patterns import random_words
 
+#: result-cache salt for HD measurements — bump whenever the sampling or
+#: reduction semantics of :func:`measure_corruption` change, so stale
+#: entries written by the old engine auto-invalidate
+CACHE_VERSION = 1
+
 #: cap on the batched value matrix (``n_nets * lanes * n_words * 8``
 #: bytes); wider workloads evaluate their wrong keys in lane chunks.
 #: 32 MiB keeps the working set L3-resident: measured on the Table I
@@ -114,6 +119,15 @@ def measure_corruption(
             evaluated in lane chunks that fit under it.  The 32 MiB
             default (:data:`DEFAULT_MAX_MATRIX_BYTES`) keeps the working
             set L3-resident — see the module docstring before raising it.
+
+    When the process-global result cache (:mod:`repro.cache`) is
+    configured, measurements are served from and inserted into it.  The
+    cache key covers the netlist *content* hash, the key-input order,
+    the correct key bits, ``n_patterns``/``n_keys``/``seed`` and this
+    module's :data:`CACHE_VERSION` — but deliberately **not** the
+    backend: the batched and scalar backends are bit-identical by
+    construction (the equivalence suite enforces it), so they share
+    entries.
     """
     key_set = set(key_inputs)
     data_inputs = [i for i in locked.inputs if i not in key_set]
@@ -131,6 +145,14 @@ def measure_corruption(
         raise ValueError(f"unknown backend {backend!r}")
     if backend == "auto":
         backend = "batched"
+    store, ck = _corruption_cache_key(
+        locked, key_inputs, correct_key, n_patterns, n_keys, seed
+    )
+    if store is not None and ck is not None:
+        payload = store.get(ck)
+        report = _report_from_payload(payload)
+        if report is not None:
+            return report
     data_words = random_words(len(data_inputs), n_patterns, seed=seed)
     wrong_vecs = sample_wrong_keys(key_inputs, correct_key, n_keys, seed=seed)
     correct_vec = tuple(int(bool(correct_key[k])) for k in key_inputs)
@@ -144,13 +166,75 @@ def measure_corruption(
             locked, key_inputs, correct_vec, wrong_vecs, data_inputs,
             data_words, n_patterns, max_matrix_bytes,
         )
-    return CorruptionReport(
+    report = CorruptionReport(
         hd_percent=float(np.mean(per_key)) if per_key else 0.0,
         per_key_hd=tuple(per_key),
         corrupted_pattern_fraction=frac,
         n_patterns=n_patterns,
         n_keys=n_keys,
     )
+    if store is not None and ck is not None:
+        store.put(ck, _report_to_payload(report))
+    return report
+
+
+def _corruption_cache_key(
+    locked: Netlist,
+    key_inputs: Sequence[str],
+    correct_key: Mapping[str, int],
+    n_patterns: int,
+    n_keys: int,
+    seed: int,
+):
+    """(store, key) for one HD measurement — (None, None) when caching
+    is disabled or the inputs have no stable content address."""
+    from .. import cache as result_cache
+
+    store = result_cache.active()
+    if store is None:
+        return None, None
+    try:
+        ck = result_cache.cache_key(
+            "sim.corruption",
+            salt=f"sim.metrics/{CACHE_VERSION}",
+            netlist=locked,
+            key_inputs=list(key_inputs),
+            correct_key=[int(bool(correct_key[k])) for k in key_inputs],
+            n_patterns=int(n_patterns),
+            n_keys=int(n_keys),
+            seed=int(seed),
+        )
+    except (result_cache.Uncacheable, KeyError):
+        return None, None
+    return store, ck
+
+
+def _report_to_payload(report: CorruptionReport) -> dict:
+    return {
+        "hd_percent": report.hd_percent,
+        "per_key_hd": list(report.per_key_hd),
+        "corrupted_pattern_fraction": report.corrupted_pattern_fraction,
+        "n_patterns": report.n_patterns,
+        "n_keys": report.n_keys,
+    }
+
+
+def _report_from_payload(payload: dict | None) -> CorruptionReport | None:
+    if payload is None:
+        return None
+    try:
+        return CorruptionReport(
+            hd_percent=float(payload["hd_percent"]),
+            per_key_hd=tuple(float(h) for h in payload["per_key_hd"]),
+            corrupted_pattern_fraction=float(
+                payload["corrupted_pattern_fraction"]
+            ),
+            n_patterns=int(payload["n_patterns"]),
+            n_keys=int(payload["n_keys"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        # malformed cached payload degrades to a recompute
+        return None
 
 
 def _corruption_batched(

@@ -37,6 +37,8 @@ KNOWN_SPANS = frozenset(
         "optape.run",
         # experiment layer
         "experiment.row",
+        # content-addressed result cache (repro.cache)
+        "cache.lookup",
         # bench harness measurements
         "bench.measure",
     }
@@ -54,6 +56,9 @@ KNOWN_COUNTERS = frozenset(
         "optape.cache.miss",
         "optape.words",
         "experiment.rows",
+        "cache.hit",
+        "cache.miss",
+        "cache.evict",
     }
 )
 

@@ -1,0 +1,482 @@
+"""Content-addressed result cache: keys, store, and call-site wiring.
+
+Covers the correctness contract in docs/CACHING.md:
+
+* hit/miss round-trips through the disk store;
+* invalidation on a netlist edit, a config-field change, and a
+  ``CACHE_VERSION`` salt bump;
+* a corrupted or tampered entry degrades to a **miss** (and heals),
+  never to an exception or trusted garbage — and ``repro cache verify``
+  reports the tampering;
+* ``--jobs 4`` writers leave a consistent index;
+* the instrumented call sites (``ExperimentRunner.run_rows``,
+  ``run_attack``, ``measure_corruption``) serve identical results warm.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+
+import pytest
+
+from repro import cache as result_cache
+from repro.attacks import IdealOracle, SATAttackConfig, run_attack
+from repro.bench import GeneratorConfig, generate_netlist
+from repro.cache import CacheKey, ResultCache, Uncacheable, cache_key, normalize
+from repro.cache.cli import run_cache_cli
+from repro.experiments import ExperimentRunner, RowTask, RunPolicy
+from repro.locking import WLLConfig, lock_weighted
+from repro.netlist import GateType, Netlist
+from repro.runtime import RunStatus
+from repro.runtime.budget import Budget
+from repro.sim.metrics import measure_corruption
+
+
+@pytest.fixture(autouse=True)
+def no_global_cache():
+    """Every test starts and ends with the process-global cache off."""
+    result_cache.disable()
+    yield
+    result_cache.disable()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _key(**parts) -> CacheKey:
+    return cache_key("test.kind", salt="test/1", **parts)
+
+
+def _tiny_netlist(name="t", extra_gate=False) -> Netlist:
+    nl = Netlist(name)
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("x", GateType.AND, ["a", "b"])
+    if extra_gate:
+        nl.add_gate("y", GateType.OR, ["a", "x"])
+        nl.set_outputs(["y"])
+    else:
+        nl.set_outputs(["x"])
+    return nl
+
+
+# --------------------------------------------------------------------- #
+# key derivation
+
+
+class TestKeys:
+    def test_same_inputs_same_digest(self):
+        assert _key(seed=3, n=10).digest == _key(seed=3, n=10).digest
+
+    def test_any_part_changes_the_digest(self):
+        base = _key(seed=3, n=10).digest
+        assert _key(seed=4, n=10).digest != base
+        assert _key(seed=3, n=11).digest != base
+
+    def test_salt_bump_invalidates(self):
+        a = cache_key("k", salt="mod/1", seed=3)
+        b = cache_key("k", salt="mod/2", seed=3)
+        assert a.digest != b.digest
+
+    def test_kind_is_part_of_the_address(self):
+        assert (
+            cache_key("k1", salt="s", x=1).digest
+            != cache_key("k2", salt="s", x=1).digest
+        )
+
+    def test_netlist_hashes_by_structure_not_identity(self):
+        a = _key(net=_tiny_netlist())
+        b = _key(net=_tiny_netlist())  # regenerated but identical
+        c = _key(net=_tiny_netlist(extra_gate=True))  # one gate edit
+        assert a.digest == b.digest
+        assert a.digest != c.digest
+
+    def test_dataclass_field_change_invalidates(self):
+        a = _key(cfg=SATAttackConfig())
+        b = _key(cfg=SATAttackConfig(max_iterations=7))
+        assert a.digest != b.digest
+
+    def test_budget_hashes_caps_not_consumed_state(self):
+        fresh = Budget(max_patterns=100)
+        used = Budget(max_patterns=100)
+        used.charge_patterns(60)
+        assert _key(b=fresh).digest == _key(b=used).digest
+        assert _key(b=Budget(max_patterns=200)).digest != _key(b=fresh).digest
+
+    def test_ideal_oracle_is_cacheable(self):
+        a = _key(o=IdealOracle(_tiny_netlist()))
+        b = _key(o=IdealOracle(_tiny_netlist()))
+        assert a.digest == b.digest
+
+    def test_arbitrary_objects_are_uncacheable(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(Uncacheable):
+            _key(x=Opaque())
+        with pytest.raises(Uncacheable):
+            normalize(lambda: None)
+
+    def test_non_string_dict_keys_are_uncacheable(self):
+        with pytest.raises(Uncacheable):
+            normalize({1: "x"})
+
+
+# --------------------------------------------------------------------- #
+# the disk store
+
+
+class TestStore:
+    def test_round_trip(self, store):
+        ck = _key(seed=1)
+        assert store.get(ck) is None  # cold miss
+        store.put(ck, {"value": 42})
+        assert store.get(ck) == {"value": 42}
+        assert store.hits == 1 and store.misses == 1
+
+    def test_unknown_key_misses(self, store):
+        assert store.get(_key(seed=99)) is None
+        assert store.misses == 1
+
+    def test_corrupted_entry_degrades_to_miss_and_heals(self, store):
+        ck = _key(seed=2)
+        path = store.put(ck, {"value": 1})
+        path.write_text("{ truncated garbage")
+        assert store.get(ck) is None
+        assert store.corrupt_dropped == 1
+        assert not path.exists()  # slot healed
+        store.put(ck, {"value": 1})
+        assert store.get(ck) == {"value": 1}
+
+    def test_tampered_payload_misses_via_checksum(self, store):
+        ck = _key(seed=3)
+        path = store.put(ck, {"value": 1})
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["value"] = 999  # valid JSON, wrong content
+        path.write_text(json.dumps(envelope))
+        assert store.get(ck) is None
+
+    def test_verify_detects_tampering(self, store):
+        ck = _key(seed=4)
+        path = store.put(ck, {"value": 1})
+        assert store.verify() == []
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["value"] = 999
+        path.write_text(json.dumps(envelope))
+        problems = store.verify()
+        assert any("checksum mismatch" in p for p in problems)
+
+    def test_verify_detects_stray_entry(self, store):
+        store.put(_key(seed=5), {"value": 1})
+        stray = store.entries_dir / "ff" / (("f" * 32) + ".json")
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_text(json.dumps({"format": 0}))
+        problems = store.verify()
+        assert problems  # wrong format + absent from index
+
+    def test_unserializable_payload_is_skipped_not_raised(self, store):
+        assert store.put(_key(seed=6), {"bad": object()}) is None
+        assert len(store) == 0
+
+    def test_lru_eviction_keeps_store_under_bound(self, tmp_path):
+        store = ResultCache(tmp_path / "small", max_bytes=2000)
+        for i in range(12):
+            store.put(_key(seed=i), {"value": "x" * 100, "i": i})
+        assert store.total_bytes() <= 2000
+        assert store.evictions > 0
+        events = [e["op"] for e in store.index_events()]
+        assert "evict" in events
+
+    def test_hit_refreshes_lru_recency(self, tmp_path, monkeypatch):
+        import os as _os
+
+        store = ResultCache(tmp_path / "lru", max_bytes=None)
+        old, new = _key(seed=1), _key(seed=2)
+        p_old = store.put(old, {"v": 1})
+        p_new = store.put(new, {"v": 2})
+        # age both, then touch `old` via a hit: it must become youngest
+        for p in (p_old, p_new):
+            _os.utime(p, (1.0, 1.0))
+        store.get(old)
+        assert p_old.stat().st_mtime > p_new.stat().st_mtime
+
+    def test_clear_removes_entries_and_index(self, store):
+        store.put(_key(seed=1), {"v": 1})
+        store.put(_key(seed=2), {"v": 2})
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get(_key(seed=1)) is None
+
+    def test_format_bump_wipes_stale_store(self, tmp_path):
+        root = tmp_path / "fmt"
+        store = ResultCache(root)
+        store.put(_key(seed=1), {"v": 1})
+        (root / "VERSION").write_text("0\n")  # simulate an old format
+        reopened = ResultCache(root)
+        assert len(reopened) == 0
+        assert (root / "VERSION").read_text().strip() == str(
+            result_cache.CACHE_FORMAT
+        )
+
+    def test_stats_counts_by_kind(self, store):
+        store.put(cache_key("kind.a", salt="s", x=1), {"v": 1})
+        store.put(cache_key("kind.a", salt="s", x=2), {"v": 2})
+        store.put(cache_key("kind.b", salt="s", x=1), {"v": 3})
+        stats = store.stats()
+        assert stats.entries == 3
+        assert stats.by_kind == {"kind.a": 2, "kind.b": 1}
+        assert stats.to_dict()["by_kind"] == {"kind.a": 2, "kind.b": 1}
+
+
+def _worker_put(root, start, n):
+    store = ResultCache(root)
+    for i in range(start, start + n):
+        store.put(cache_key("par", salt="s", i=i), {"value": i})
+
+
+class TestParallelWriters:
+    def test_four_processes_leave_a_consistent_index(self, tmp_path):
+        root = tmp_path / "par"
+        ResultCache(root)  # settle the VERSION file before forking
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_worker_put, args=(str(root), j * 8, 8))
+            for j in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        store = ResultCache(root)
+        assert len(store) == 32
+        assert store.verify() == []
+        for i in range(32):
+            assert store.get(cache_key("par", salt="s", i=i)) == {"value": i}
+
+
+# --------------------------------------------------------------------- #
+# the process-global active cache
+
+
+class TestActiveCache:
+    def test_disabled_by_default(self):
+        assert result_cache.active() is None
+
+    def test_configure_and_disable(self, tmp_path):
+        store = result_cache.configure(tmp_path / "c")
+        assert result_cache.active() is store
+        result_cache.disable()
+        assert result_cache.active() is None
+
+    def test_same_root_reuses_instance(self, tmp_path):
+        a = result_cache.configure(tmp_path / "c")
+        a.hits = 5
+        b = result_cache.configure(tmp_path / "c", max_bytes=123)
+        assert b is a and b.max_bytes == 123
+
+    def test_different_root_replaces_instance(self, tmp_path):
+        a = result_cache.configure(tmp_path / "c1")
+        b = result_cache.configure(tmp_path / "c2")
+        assert b is not a
+
+
+# --------------------------------------------------------------------- #
+# ExperimentRunner integration
+
+
+def _square(x, budget=None):
+    return {"value": x * x}
+
+
+def _boom(x, budget=None):
+    raise RuntimeError("boom")
+
+
+def _tasks(n=4):
+    return [
+        RowTask(key=f"row{i}", compute=_square, args=(i,)) for i in range(n)
+    ]
+
+
+class TestRunnerCaching:
+    def _runner(self, tmp_path, fingerprint=None, jobs=1):
+        policy = RunPolicy(cache_dir=tmp_path / "cache", jobs=jobs)
+        return ExperimentRunner(
+            "cachetest", policy, fingerprint=fingerprint or {"seed": 1}
+        )
+
+    def test_warm_run_serves_every_row_from_cache(self, tmp_path):
+        cold = self._runner(tmp_path)
+        cold_rows = cold.run_rows(_tasks())
+        assert cold.rows_computed == 4 and cold.rows_cached == 0
+
+        warm = self._runner(tmp_path)
+        warm_rows = warm.run_rows(_tasks())
+        assert warm.rows_cached == 4 and warm.rows_computed == 0
+        assert [o.value for o in warm_rows] == [o.value for o in cold_rows]
+        assert all(o.status is RunStatus.OK for o in warm_rows)
+        assert all(
+            o.diagnostics.get("result_cache") for o in warm_rows
+        )  # provenance marker
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        self._runner(tmp_path, {"seed": 1}).run_rows(_tasks())
+        other = self._runner(tmp_path, {"seed": 2})
+        other.run_rows(_tasks())
+        assert other.rows_cached == 0 and other.rows_computed == 4
+
+    def test_error_rows_are_never_cached(self, tmp_path):
+        tasks = [RowTask(key="r0", compute=_boom, args=(0,))]
+        first = self._runner(tmp_path)
+        assert first.run_rows(tasks)[0].status is RunStatus.ERROR
+        second = self._runner(tmp_path)
+        second.run_rows(tasks)
+        assert second.rows_cached == 0 and second.rows_computed == 1
+
+    def test_parallel_warm_run_hits_and_index_is_consistent(self, tmp_path):
+        cold = self._runner(tmp_path, jobs=4)
+        cold_rows = cold.run_rows(_tasks(8))
+        warm = self._runner(tmp_path, jobs=4)
+        warm_rows = warm.run_rows(_tasks(8))
+        assert warm.rows_cached == 8
+        assert [o.value for o in warm_rows] == [o.value for o in cold_rows]
+        assert warm.cache.verify() == []
+
+    def test_cache_hits_also_populate_checkpoints_for_resume(self, tmp_path):
+        self._runner(tmp_path).run_rows(_tasks())
+        policy = RunPolicy(
+            cache_dir=tmp_path / "cache",
+            checkpoint_dir=tmp_path / "ckpt",
+            resume=True,
+        )
+        warm = ExperimentRunner("cachetest", policy, fingerprint={"seed": 1})
+        warm.run_rows(_tasks())
+        assert warm.rows_cached == 4
+        third = ExperimentRunner("cachetest", policy, fingerprint={"seed": 1})
+        third.run_rows(_tasks())
+        assert third.rows_reused == 4  # served by resume, not the cache
+
+    def test_no_cache_dir_means_no_caching(self, tmp_path):
+        runner = ExperimentRunner("plain", fingerprint={"seed": 1})
+        runner.run_rows(_tasks())
+        assert runner.cache is None and runner.rows_cached == 0
+
+
+# --------------------------------------------------------------------- #
+# measure_corruption and run_attack call sites
+
+
+@pytest.fixture(scope="module")
+def wll():
+    host = generate_netlist(
+        GeneratorConfig(
+            n_inputs=8, n_outputs=6, n_gates=60, depth=5, seed=11, name="cch"
+        )
+    )
+    return lock_weighted(
+        host, WLLConfig(key_width=6, control_width=3, n_key_gates=2), rng=3
+    )
+
+
+class TestMeasureCorruptionCaching:
+    def test_warm_call_is_a_hit_with_identical_report(self, tmp_path, wll):
+        store = result_cache.configure(tmp_path / "c")
+        kw = dict(n_patterns=200, n_keys=4, seed=1)
+        cold = measure_corruption(
+            wll.locked, list(wll.key_inputs), wll.correct_key, **kw
+        )
+        assert store.hits == 0
+        warm = measure_corruption(
+            wll.locked, list(wll.key_inputs), wll.correct_key, **kw
+        )
+        assert store.hits == 1
+        assert warm == cold
+
+    def test_netlist_edit_invalidates(self, tmp_path, wll):
+        store = result_cache.configure(tmp_path / "c")
+        kw = dict(n_patterns=200, n_keys=4, seed=1)
+        measure_corruption(
+            wll.locked, list(wll.key_inputs), wll.correct_key, **kw
+        )
+        edited = wll.locked.copy()
+        victim = edited.outputs[0]
+        edited.add_gate("cache_tap", GateType.NOT, [victim])
+        edited.set_outputs(list(edited.outputs) + ["cache_tap"])
+        measure_corruption(
+            edited, list(wll.key_inputs), wll.correct_key, **kw
+        )
+        assert store.hits == 0 and store.misses == 2
+
+    def test_parameter_change_invalidates(self, tmp_path, wll):
+        store = result_cache.configure(tmp_path / "c")
+        for n in (200, 300):
+            measure_corruption(
+                wll.locked, list(wll.key_inputs), wll.correct_key,
+                n_patterns=n, n_keys=4, seed=1,
+            )
+        assert store.hits == 0 and store.misses == 2
+
+
+class TestRunAttackCaching:
+    def test_warm_attack_is_served_from_cache(self, tmp_path, wll):
+        store = result_cache.configure(tmp_path / "c")
+        oracle = IdealOracle(wll.original)
+        cfg = SATAttackConfig(max_iterations=50)
+        cold = run_attack("sat", wll, oracle, config=cfg)
+        assert cold.status == "ok"
+        assert store.hits == 0
+        warm = run_attack("sat", wll, IdealOracle(wll.original), config=cfg)
+        assert store.hits == 1
+        assert dataclasses.asdict(warm) == dataclasses.asdict(cold)
+
+    def test_config_change_misses(self, tmp_path, wll):
+        store = result_cache.configure(tmp_path / "c")
+        oracle = IdealOracle(wll.original)
+        run_attack("sat", wll, oracle, config=SATAttackConfig(max_iterations=50))
+        run_attack("sat", wll, oracle, config=SATAttackConfig(max_iterations=51))
+        assert store.hits == 0
+
+    def test_disabled_cache_leaves_store_untouched(self, tmp_path, wll):
+        result_cache.disable()
+        run_attack(
+            "sat", wll, IdealOracle(wll.original),
+            config=SATAttackConfig(max_iterations=50),
+        )
+        assert result_cache.active() is None
+
+
+# --------------------------------------------------------------------- #
+# the `repro cache` CLI
+
+
+class TestCacheCli:
+    def test_stats_text_and_json(self, tmp_path, capsys):
+        root = tmp_path / "c"
+        ResultCache(root).put(_key(seed=1), {"v": 1})
+        assert run_cache_cli("stats", root=root) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert run_cache_cli("stats", root=root, fmt="json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+
+    def test_verify_clean_then_tampered(self, tmp_path, capsys):
+        root = tmp_path / "c"
+        store = ResultCache(root)
+        path = store.put(_key(seed=1), {"v": 1})
+        assert run_cache_cli("verify", root=root) == 0
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["v"] = 2
+        path.write_text(json.dumps(envelope))
+        capsys.readouterr()
+        assert run_cache_cli("verify", root=root) == 1
+        assert "checksum" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        root = tmp_path / "c"
+        ResultCache(root).put(_key(seed=1), {"v": 1})
+        assert run_cache_cli("clear", root=root) == 0
+        assert len(ResultCache(root)) == 0
