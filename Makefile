@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry bench-gate trace-smoke cache-smoke experiments examples clean
+.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry bench-supervisor bench-gate trace-smoke cache-smoke chaos-smoke experiments examples clean
 
 install:
 	pip install -e .
@@ -30,11 +30,13 @@ lint:
 verify-fast: lint
 	PYTHONPATH=src $(PY) -m pytest tests/ -m "not slow"
 
-# robustness gate: runtime governance, fault injection, kill/resume
+# robustness gate: runtime governance, fault injection, supervised
+# worker fleet, kill/resume
 verify-robust:
 	PYTHONPATH=src $(PY) -m pytest tests/test_runtime.py \
 		tests/test_checkpoint.py tests/test_faultinject.py \
-		tests/test_resume.py tests/test_bench_io.py
+		tests/test_supervisor.py tests/test_resume.py \
+		tests/test_bench_io.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -94,6 +96,22 @@ cache-smoke:
 		hits = summarize_trace('TRACE_cache_warm.jsonl').counters.get('cache.hit', 0); \
 		print(f'warm-run cache.hit total: {hits}'); \
 		sys.exit(0 if hits > 0 else 1)"
+
+# chaos harness: a --jobs 4 campaign with injected worker kills, a
+# hung worker (dead heartbeat), a poison row (killed on every attempt)
+# and a disk-full fault on the result cache must COMPLETE with tables
+# byte-identical to an uninjected serial run (quarantined rows excluded
+# and reported), then survive a torn checkpoint on --resume; nonzero
+# supervisor.*/cache.degraded/checkpoint.corrupt counters are asserted
+# from the merged trace (repro chaos run, src/repro/experiments/chaos.py)
+chaos-smoke:
+	PYTHONPATH=src $(PY) -m repro chaos run --jobs 4
+
+# supervised-vs-bare worker pool overhead on an uninjected parallel
+# campaign; refreshes the `supervisor` block of BENCH_runtime.json
+# (gated <3% by scripts/bench_compare.py)
+bench-supervisor:
+	PYTHONPATH=src $(PY) -m repro chaos bench
 
 # end-to-end trace fan-in: a tiny 4-way parallel campaign streamed to
 # one JSONL file, then every record schema-validated (an unknown span

@@ -179,6 +179,33 @@ def compare_runtime(gate: Gate, baseline: dict, fresh: dict | None) -> None:
                 f"{bound}% acceptance bound"
             )
 
+    # supervised worker-fleet overhead (repro chaos bench): the
+    # supervisor block carries its own acceptance bound (<3%) and is
+    # required — a report without it predates the supervised pool
+    sup = source.get("supervisor")
+    if not isinstance(sup, dict):
+        gate.fail(f"runtime: {which}: 'supervisor' overhead block missing")
+        return
+    sup_overhead = sup.get("overhead_percent")
+    sup_bound = sup.get("acceptance_bound_percent")
+    if not isinstance(sup_overhead, (int, float)) or sup_bound is None:
+        gate.fail(
+            f"runtime: {which}: supervisor overhead/acceptance "
+            "metrics missing"
+        )
+        return
+    verdict = "ok" if float(sup_overhead) <= float(sup_bound) else "REGRESSION"
+    gate.lines.append(
+        f"  runtime.supervisor_pool_overhead         {which}: "
+        f"{float(sup_overhead):>6.1f}% (bound {float(sup_bound):g}%, "
+        f"{verdict})"
+    )
+    if float(sup_overhead) > float(sup_bound):
+        gate.failures.append(
+            f"runtime: supervised-pool overhead {sup_overhead}% exceeds "
+            f"the {sup_bound}% acceptance bound"
+        )
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])

@@ -86,6 +86,14 @@ def main(argv: list[str] | None = None) -> int:
             help="worker processes for campaign rows (1 = sequential)",
         )
         p.add_argument(
+            "--worker-retries",
+            type=int,
+            default=1,
+            metavar="N",
+            help="process-level retries before a row that crashes/hangs "
+            "its worker is quarantined (supervised --jobs runs)",
+        )
+        p.add_argument(
             "--trace",
             type=str,
             default=None,
@@ -228,7 +236,72 @@ def main(argv: list[str] | None = None) -> int:
         "--no-info", action="store_true", help="hide info-level findings"
     )
 
+    pch = sub.add_parser(
+        "chaos",
+        help="process-level chaos harness: injected crash/hang campaign "
+        "(run) or supervisor overhead bench (bench)",
+    )
+    pch.add_argument(
+        "action",
+        choices=["run", "bench"],
+        help="run: campaign with injected worker kills/hangs/disk faults, "
+        "asserting completion + byte-identical tables + quarantine; "
+        "bench: supervised-vs-bare pool overhead into BENCH_runtime.json",
+    )
+    pch.add_argument("--jobs", type=int, default=4, metavar="N")
+    pch.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="REPRO_CHAOS spec (default: kill+hang+poison+ENOSPC mix)",
+    )
+    pch.add_argument("--circuits", type=str, default=None)
+    pch.add_argument("--scale", type=float, default=None)
+    pch.add_argument("--patterns", type=int, default=None)
+    pch.add_argument(
+        "--workdir", type=str, default=None,
+        help="working directory for checkpoints/cache/trace",
+    )
+    pch.add_argument(
+        "--keep", action="store_true",
+        help="keep the working directory for post-mortem inspection",
+    )
+    pch.add_argument("--repeats", type=int, default=3, help="bench repeats")
+    pch.add_argument(
+        "--out", type=str, default="BENCH_runtime.json",
+        help="bench output JSON path",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.cmd == "chaos":
+        from .experiments.chaos import (
+            CHAOS_PATTERNS,
+            CHAOS_SCALE,
+            DEFAULT_CHAOS_SPEC,
+            run_chaos_bench,
+            run_chaos_cli,
+        )
+
+        chaos_circuits = args.circuits.split(",") if args.circuits else None
+        if args.action == "bench":
+            return run_chaos_bench(
+                jobs=args.jobs,
+                repeats=args.repeats,
+                circuits=chaos_circuits,
+                scale=args.scale or CHAOS_SCALE,
+                n_patterns=args.patterns or CHAOS_PATTERNS,
+                out=args.out,
+            )
+        return run_chaos_cli(
+            jobs=args.jobs,
+            spec=args.spec or DEFAULT_CHAOS_SPEC,
+            circuits=chaos_circuits,
+            scale=args.scale or CHAOS_SCALE,
+            n_patterns=args.patterns or CHAOS_PATTERNS,
+            workdir=args.workdir,
+            keep=args.keep,
+        )
 
     if args.cmd == "bench":
         from .sim.bench import run_bench_cli
@@ -292,20 +365,6 @@ def main(argv: list[str] | None = None) -> int:
 
         _cache.configure(resolved_cache_dir)
 
-    from .experiments import (
-        DEFAULT_SCALE,
-        print_attack_matrix,
-        print_protocol,
-        print_table1,
-        print_table2,
-        print_trojan_table,
-        run_attack_matrix,
-        run_protocol_checks,
-        run_table1,
-        run_table2,
-        run_trojan_table,
-    )
-
     def circuits_of(s: str | None) -> list[str] | None:
         return s.split(",") if s else None
 
@@ -336,7 +395,34 @@ def main(argv: list[str] | None = None) -> int:
             jobs=jobs,
             trace_path=trace,
             cache_dir=cache_dir,
+            worker_retries=getattr(a, "worker_retries", 1),
         )
+
+    from .runtime import CampaignInterrupted
+
+    try:
+        return _dispatch_campaign(args, policy_of, circuits_of)
+    except CampaignInterrupted as interrupted:
+        # completed rows are already checkpointed; report the resumable
+        # position instead of a concurrent.futures stack trace
+        print(f"\nrepro: {interrupted}", file=sys.stderr)
+        return 130
+
+
+def _dispatch_campaign(args, policy_of, circuits_of) -> int:
+    from .experiments import (
+        DEFAULT_SCALE,
+        print_attack_matrix,
+        print_protocol,
+        print_table1,
+        print_table2,
+        print_trojan_table,
+        run_attack_matrix,
+        run_protocol_checks,
+        run_table1,
+        run_table2,
+        run_trojan_table,
+    )
 
     if args.cmd == "table1":
         print_table1(

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -78,6 +79,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     corrupt_dropped: int = 0
+    degraded: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able view (CLI output)."""
@@ -92,6 +94,7 @@ class CacheStats:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "corrupt_dropped": self.corrupt_dropped,
+                "degraded": self.degraded,
             },
         }
 
@@ -113,7 +116,28 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.corrupt_dropped = 0
+        #: write path disabled after ENOSPC/EROFS — reads keep serving
+        self.degraded = False
         self._check_format()
+
+    def _degrade(self, op: str, exc: OSError) -> None:
+        """Disable the write path for the rest of the run (reads stay).
+
+        A full or read-only disk must cost the campaign its cache, not
+        its rows: every later :meth:`put` becomes a silent no-op, while
+        :meth:`get` keeps serving whatever was written before the fault
+        (correct even on a read-only filesystem).
+        """
+        if self.degraded:
+            return
+        self.degraded = True
+        telemetry.counter_add("cache.degraded")
+        warnings.warn(
+            f"result cache degraded to read-only after {op} failed "
+            f"({exc}); rows will be recomputed instead of cached",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------ #
     # format guard
@@ -223,8 +247,12 @@ class ResultCache:
 
         A payload that cannot be canonically serialized (exotic values
         smuggled into a row dict) is skipped with a None return — the
-        cache never raises on the write path.
+        cache never raises on the write path.  An ``OSError`` (disk
+        full, read-only filesystem) degrades the whole write path via
+        :meth:`_degrade` instead of failing the row.
         """
+        if self.degraded:
+            return None
         envelope = {
             "format": CACHE_FORMAT,
             "kind": key.kind,
@@ -240,8 +268,12 @@ class ResultCache:
         except (TypeError, ValueError):
             return None
         path = self.entry_path(key.digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(path, text, fault_site="cache.put")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, text, fault_site="cache.put")
+        except OSError as exc:
+            self._degrade("entry write", exc)
+            return None
         self._append_index("insert", key.digest, kind=key.kind,
                            bytes=len(text))
         self._maybe_evict()
@@ -252,17 +284,24 @@ class ResultCache:
 
     def _append_index(self, op: str, digest: str, **extra: Any) -> None:
         """Append one event line (single O_APPEND write: safe for many
-        concurrent worker processes)."""
+        concurrent worker processes).  An ``OSError`` here (disk full
+        mid-campaign) degrades the write path rather than failing the
+        caller."""
+        if self.degraded:
+            return
         record = {"op": op, "digest": digest, "ts": time.time(),
                   "pid": os.getpid(), **extra}
         line = (canonical_dumps(record) + "\n").encode("utf-8")
-        fd = os.open(
-            self._index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
         try:
-            os.write(fd, line)
-        finally:
-            os.close(fd)
+            fd = os.open(
+                self._index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        except OSError as exc:
+            self._degrade("index append", exc)
 
     def index_events(self) -> Iterator[dict[str, Any]]:
         """Parse the index log, skipping torn/corrupt lines."""
@@ -370,6 +409,7 @@ class ResultCache:
             misses=self.misses,
             evictions=self.evictions,
             corrupt_dropped=self.corrupt_dropped,
+            degraded=self.degraded,
         )
 
     def verify(self) -> list[str]:

@@ -1,8 +1,15 @@
 """Experiment harnesses: one module per paper artifact (E1..E5) plus the
 ablation sweeps called out in DESIGN.md."""
 
+from .chaos import DEFAULT_CHAOS_SPEC, run_chaos_bench, run_chaos_cli
 from .common import DEFAULT_SCALE, PaperComparison, format_table
-from .runner import DEFAULT_CHECKPOINT_ROOT, ExperimentRunner, RowTask, RunPolicy
+from .runner import (
+    DEFAULT_CHECKPOINT_ROOT,
+    CampaignInterrupted,
+    ExperimentRunner,
+    RowTask,
+    RunPolicy,
+)
 from .table1 import Table1Row, lock_for_table1, print_table1, run_table1
 from .table2 import Table2Row, print_table2, run_table2
 from .attack_matrix import (
@@ -30,9 +37,13 @@ from .hd_saturation import (
 __all__ = [
     "DEFAULT_SCALE",
     "DEFAULT_CHECKPOINT_ROOT",
+    "DEFAULT_CHAOS_SPEC",
+    "CampaignInterrupted",
     "ExperimentRunner",
     "RowTask",
     "RunPolicy",
+    "run_chaos_bench",
+    "run_chaos_cli",
     "PaperComparison",
     "format_table",
     "Table1Row",

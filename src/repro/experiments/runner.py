@@ -36,6 +36,7 @@ from ..runtime.budget import Budget
 from ..runtime.checkpoint import CheckpointStore
 from ..runtime.codec import outcome_to_payload, payload_to_outcome
 from ..runtime.outcome import RunOutcome, RunStatus, run_with_retry
+from ..runtime.supervisor import CampaignInterrupted, PoolTask, SupervisedPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cache import CacheKey, ResultCache
@@ -79,6 +80,18 @@ class RunPolicy:
             None (default) disables result caching.
         cache_max_bytes: LRU size bound for the result cache (None =
             the store's default).
+        supervised: run parallel campaigns on the crash/hang-containing
+            :class:`~repro.runtime.SupervisedPool` (the default) instead
+            of a bare ``ProcessPoolExecutor`` (kept for overhead
+            benchmarking; a worker crash there aborts the campaign).
+        worker_retries: process-level retries before a row that crashes
+            or hangs its worker is quarantined.
+        hang_grace_s: wall-clock margin past a row's full in-process
+            allowance before the supervisor declares the worker hung.
+        heartbeat_interval_s: supervised-worker heartbeat cadence.
+        retry_quarantined: recompute quarantined rows on ``--resume``
+            instead of reusing their quarantine verdict (default False:
+            a poison row would just take workers down again).
     """
 
     checkpoint_dir: str | Path | None = None
@@ -93,6 +106,27 @@ class RunPolicy:
     trace_path: str | Path | None = None
     cache_dir: str | Path | None = None
     cache_max_bytes: int | None = None
+    supervised: bool = True
+    worker_retries: int = 1
+    hang_grace_s: float = 30.0
+    heartbeat_interval_s: float = 1.0
+    retry_quarantined: bool = False
+
+    def row_allowance_s(self) -> float | None:
+        """Worst-case in-process wall clock for one supervised row.
+
+        ``run_with_retry`` may burn ``retries + 1`` fresh deadlines plus
+        the deterministic backoff sleeps between them; the supervisor's
+        watchdog only fires *past* this allowance (+ grace), so it can
+        never race a row that is merely slow-but-legal.  None (no
+        deadline) disables the watchdog — the stale-heartbeat monitor
+        still covers truly dead workers.
+        """
+        if self.row_deadline_s is None:
+            return None
+        allowance = (self.retries + 1) * self.row_deadline_s
+        allowance += sum(self.backoff_s * 2**i for i in range(self.retries))
+        return allowance
 
     def budget_factory(self) -> Callable[[], Budget | None] | None:
         """Factory for fresh per-attempt budgets (None when unlimited)."""
@@ -174,6 +208,47 @@ def _pool_worker(
     _configure_policy_cache(policy)
     with telemetry.span(
         "experiment.row", experiment=experiment, key=key
+    ) as sp:
+        outcome = run_with_retry(
+            compute,
+            *args,
+            budget_factory=policy.budget_factory(),
+            retries=policy.retries,
+            backoff_s=policy.backoff_s,
+            **kwargs,
+        )
+        sp.set(status=outcome.status.value, attempts=outcome.attempts)
+    telemetry.counter_add("experiment.rows")
+    telemetry.flush_counters()
+    return outcome
+
+
+def _supervised_worker_init(policy: RunPolicy) -> None:
+    """Per-worker bootstrap for the supervised pool: join the campaign's
+    shared trace and result cache (both idempotent per process)."""
+    if policy.trace_path is not None:
+        telemetry.configure(path=policy.trace_path)
+    _configure_policy_cache(policy)
+
+
+def _supervised_row(
+    row_arg: tuple[RunPolicy, str],
+    key: str,
+    payload: tuple[Callable[..., Any], tuple, dict],
+    attempt: int,
+) -> RunOutcome:
+    """Supervised-worker row entry: one guarded row under a fresh budget.
+
+    Same contract as :func:`_pool_worker`, shaped for
+    :class:`~repro.runtime.SupervisedPool` (``attempt`` is the
+    process-level attempt — nonzero after a crash/hang re-dispatch).
+    Counters are flushed per row because crashed workers never reach
+    ``atexit``.
+    """
+    policy, experiment = row_arg
+    compute, args, kwargs = payload
+    with telemetry.span(
+        "experiment.row", experiment=experiment, key=key, attempt=attempt
     ) as sp:
         outcome = run_with_retry(
             compute,
@@ -295,53 +370,132 @@ class ExperimentRunner:
 
         With ``jobs`` (default ``policy.jobs``) above 1, rows whose
         results are not already checkpointed are dispatched to a
-        :class:`~concurrent.futures.ProcessPoolExecutor`; each worker
-        re-runs the row under the same policy (fresh per-attempt budgets,
-        retry/backoff) via :func:`run_with_retry`.  Everything stateful —
-        fault-injection sites, resume-cache lookups, lint preflights and
-        checkpoint writes — stays in the parent, and outcomes are
-        collected (and checkpointed) in task order, so a parallel
-        campaign produces exactly the rows a sequential one would.
+        :class:`~repro.runtime.SupervisedPool` (or, with
+        ``policy.supervised=False``, a bare ``ProcessPoolExecutor``);
+        each worker re-runs the row under the same policy (fresh
+        per-attempt budgets, retry/backoff) via :func:`run_with_retry`.
+        Everything stateful — fault-injection sites, resume-cache
+        lookups, lint preflights and checkpoint writes — stays in the
+        parent, and outcomes are keyed by task index, so a parallel
+        campaign produces exactly the rows a sequential one would (a row
+        that crashes or hangs its worker past ``policy.worker_retries``
+        becomes a quarantined ``error`` outcome instead of aborting the
+        campaign).
+
+        SIGINT/SIGTERM raise :class:`~repro.runtime.CampaignInterrupted`
+        after completed rows are checkpointed — the campaign is
+        resumable, never a half-lost table.
         """
         jobs = self.policy.jobs if jobs is None else jobs
         if jobs <= 1:
-            return [
-                self.run_row(
-                    t.key,
-                    t.compute,
-                    encode=t.encode,
-                    decode=t.decode,
-                    preflight=t.preflight,
-                    args=t.args,
-                    kwargs=t.kwargs,
-                    preflight_args=t.preflight_args,
-                )
-                for t in tasks
-            ]
-        results: list[RunOutcome | None] = [None] * len(tasks)
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures: dict[int, Any] = {}
-            for i, t in enumerate(tasks):
-                if faultinject.enabled:
-                    faultinject.fire("experiment.row")
-                if self.store is not None and self.policy.resume:
-                    cached = self._load_cached(t.key, t.decode)
-                    if cached is not None:
-                        self.rows_reused += 1
-                        results[i] = cached
-                        continue
-                hit = self._cache_lookup(t.key, t.encode, t.decode)
-                if hit is not None:
-                    self.rows_cached += 1
-                    results[i] = hit
-                    continue
-                if t.preflight is not None:
-                    failed = self._run_preflight(
-                        t.key, t.preflight, t.preflight_args
+            results_seq: list[RunOutcome] = []
+            for t in tasks:
+                try:
+                    results_seq.append(
+                        self.run_row(
+                            t.key,
+                            t.compute,
+                            encode=t.encode,
+                            decode=t.decode,
+                            preflight=t.preflight,
+                            args=t.args,
+                            kwargs=t.kwargs,
+                            preflight_args=t.preflight_args,
+                        )
                     )
-                    if failed is not None:
-                        results[i] = failed
-                        continue
+                except KeyboardInterrupt:
+                    raise CampaignInterrupted(
+                        done=len(results_seq),
+                        total=len(tasks),
+                        experiment=self.experiment,
+                    ) from None
+            return results_seq
+        results: list[RunOutcome | None] = [None] * len(tasks)
+        remaining: list[tuple[int, RowTask]] = []
+        for i, t in enumerate(tasks):
+            if faultinject.enabled:
+                faultinject.fire("experiment.row")
+            if self.store is not None and self.policy.resume:
+                cached = self._load_cached(t.key, t.decode)
+                if cached is not None:
+                    self.rows_reused += 1
+                    results[i] = cached
+                    continue
+            hit = self._cache_lookup(t.key, t.encode, t.decode)
+            if hit is not None:
+                self.rows_cached += 1
+                results[i] = hit
+                continue
+            if t.preflight is not None:
+                failed = self._run_preflight(
+                    t.key, t.preflight, t.preflight_args
+                )
+                if failed is not None:
+                    results[i] = failed
+                    continue
+            remaining.append((i, t))
+        if remaining:
+            if self.policy.supervised:
+                self._run_supervised(tasks, remaining, results, jobs)
+            else:
+                self._run_bare_pool(tasks, remaining, results, jobs)
+        return [r for r in results if r is not None]
+
+    def _run_supervised(
+        self,
+        tasks: list[RowTask],
+        remaining: list[tuple[int, RowTask]],
+        results: list[RunOutcome | None],
+        jobs: int,
+    ) -> None:
+        """Dispatch the uncached rows to a :class:`SupervisedPool`.
+
+        Outcomes are checkpointed *on arrival* (completion order), so an
+        interrupt or crash mid-campaign loses at most rows in flight.
+        """
+        pool = SupervisedPool(
+            jobs=jobs,
+            row_fn=_supervised_row,
+            row_arg=(self.policy, self.experiment),
+            init_fn=_supervised_worker_init,
+            init_arg=self.policy,
+            row_allowance_s=self.policy.row_allowance_s(),
+            hang_grace_s=self.policy.hang_grace_s,
+            worker_retries=self.policy.worker_retries,
+            backoff_s=self.policy.backoff_s,
+            heartbeat_interval_s=self.policy.heartbeat_interval_s,
+            experiment=self.experiment,
+        )
+
+        def on_result(index: int, outcome: RunOutcome) -> None:
+            self.rows_computed += 1
+            self._save_outcome(tasks[index].key, outcome, tasks[index].encode)
+            results[index] = outcome
+
+        pool.run(
+            [PoolTask(i, t.key, (t.compute, t.args, t.kwargs))
+             for i, t in remaining],
+            on_result=on_result,
+        )
+
+    def _run_bare_pool(
+        self,
+        tasks: list[RowTask],
+        remaining: list[tuple[int, RowTask]],
+        results: list[RunOutcome | None],
+        jobs: int,
+    ) -> None:
+        """Legacy unsupervised path (``policy.supervised=False``).
+
+        Kept as the overhead-benchmark baseline; a worker crash here
+        still aborts the whole campaign (``BrokenProcessPool``), but an
+        interrupt at least flushes finished rows and reports a resumable
+        position instead of a ``concurrent.futures`` stack trace.
+        """
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        futures: dict[int, Any] = {}
+        try:
+            for i, t in remaining:
                 futures[i] = pool.submit(
                     _pool_worker,
                     t.compute,
@@ -356,7 +510,28 @@ class ExperimentRunner:
                 self.rows_computed += 1
                 self._save_outcome(tasks[i].key, outcome, tasks[i].encode)
                 results[i] = outcome
-        return [r for r in results if r is not None]
+        except KeyboardInterrupt:
+            # flush whatever already finished, kill the rest promptly,
+            # and surface a clean "resumable at row k/n" verdict
+            for i, fut in futures.items():
+                if results[i] is None and fut.done() and not fut.cancelled():
+                    try:
+                        outcome = fut.result(timeout=0)
+                    except Exception:
+                        continue
+                    self.rows_computed += 1
+                    self._save_outcome(
+                        tasks[i].key, outcome, tasks[i].encode
+                    )
+                    results[i] = outcome
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise CampaignInterrupted(
+                done=sum(1 for r in results if r is not None),
+                total=len(tasks),
+                experiment=self.experiment,
+            ) from None
+        else:
+            pool.shutdown(wait=True)
 
     def _row_cache_key(self, key: str) -> "CacheKey | None":
         """Content-addressed key of one row (None when underivable).
@@ -483,6 +658,12 @@ class ExperimentRunner:
             return None
         if payload.get("fingerprint") != self.fingerprint:
             return None
+        if payload.get("quarantined"):
+            # a poison row would just take workers down again — reuse its
+            # quarantine verdict unless the operator explicitly retries
+            if self.policy.retry_quarantined:
+                return None
+            return payload_to_outcome(payload, decode, provenance="cached")
         if payload.get("status") not in _REUSABLE:
             return None
         return payload_to_outcome(payload, decode, provenance="cached")

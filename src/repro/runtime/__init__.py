@@ -11,13 +11,23 @@ The robustness layer every long-running harness runs on (see
   error}`` results instead of lost tables;
 * :class:`CheckpointStore` — crash-safe per-row JSON checkpoints
   (atomic temp-file + rename) behind every experiment's ``--resume``;
-* :mod:`repro.runtime.faultinject` — deterministic fault injection used
-  by the robustness test-suite to prove graceful degradation.
+* :class:`SupervisedPool` — the supervised worker fleet behind parallel
+  campaigns: heartbeats, per-row watchdogs, crash retry with
+  deterministic backoff, and poison-row quarantine;
+* :mod:`repro.runtime.faultinject` — deterministic fault injection plus
+  the ``REPRO_CHAOS`` process-level chaos harness used by the
+  robustness test-suite to prove graceful degradation.
 """
 
 from .budget import Budget, BudgetExhausted, DeadlineExpired, ResourceExhausted
 from .checkpoint import CheckpointStore
 from .outcome import RunOutcome, RunStatus, run_guarded, run_with_retry
+from .supervisor import (
+    CampaignInterrupted,
+    PoolTask,
+    SupervisedPool,
+    WorkerFailure,
+)
 from . import faultinject
 
 __all__ = [
@@ -25,9 +35,13 @@ __all__ = [
     "BudgetExhausted",
     "DeadlineExpired",
     "ResourceExhausted",
+    "CampaignInterrupted",
     "CheckpointStore",
+    "PoolTask",
     "RunOutcome",
     "RunStatus",
+    "SupervisedPool",
+    "WorkerFailure",
     "run_guarded",
     "run_with_retry",
     "faultinject",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import re
+import warnings
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -63,11 +64,26 @@ class CheckpointStore:
         )
 
     def load(self, key: str) -> dict[str, Any] | None:
-        """Return a row's payload, or None when absent or corrupt."""
+        """Return a row's payload, or None when absent or corrupt.
+
+        A torn or corrupted checkpoint (crash mid-write, bit rot) is
+        never a traceback: the row is reported once via a warning and a
+        ``checkpoint.corrupt`` telemetry counter, remembered in
+        :attr:`corrupted`, and recomputed by the caller.
+        """
         try:
             return read_json(self.path_for(key))
-        except CodecError:
+        except CodecError as exc:
             self.corrupted.append(key)
+            from .. import telemetry
+
+            telemetry.counter_add("checkpoint.corrupt")
+            warnings.warn(
+                f"skipping corrupt checkpoint for row {key!r} "
+                f"({exc}); the row will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def discard(self, key: str) -> None:

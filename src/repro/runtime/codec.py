@@ -70,8 +70,10 @@ def atomic_write_text(
         fh.flush()
         os.fsync(fh.fileno())
     if fault_site is not None and faultinject.enabled:
-        # a crash here must leave only the temp file behind
-        faultinject.fire(fault_site)
+        # a crash here must leave only the temp file behind; the chaos
+        # harness's ``corrupt:<site>`` plans receive the temp path and
+        # tear it, so the rename below commits a torn write on purpose
+        faultinject.fire(fault_site, path=tmp)
     os.replace(tmp, final)
     return final
 
@@ -138,7 +140,14 @@ def outcome_to_payload(
         "elapsed_s": round(outcome.elapsed_s, 6),
         "attempts": outcome.attempts,
         "error": outcome.error,
+        "error_type": outcome.error_type,
     }
+    quarantine = outcome.diagnostics.get("quarantine")
+    if quarantine is not None:
+        # poison-row verdicts persist their full attempt history so a
+        # resumed campaign can report (and keep skipping) the row
+        payload["quarantined"] = True
+        payload["quarantine"] = quarantine
     if extra:
         payload.update(extra)
     return payload
@@ -163,11 +172,17 @@ def payload_to_outcome(
         return None
     raw = payload.get("row")
     value = decode(raw) if (decode is not None and raw is not None) else raw
+    diagnostics: dict[str, Any] = {provenance: True}
+    if payload.get("quarantined"):
+        diagnostics["quarantined"] = True
+        if isinstance(payload.get("quarantine"), dict):
+            diagnostics["quarantine"] = payload["quarantine"]
     return RunOutcome(
         status=run_status,
         value=value,
         elapsed_s=float(payload.get("elapsed_s", 0.0)),
         error=payload.get("error"),
+        error_type=payload.get("error_type"),
         attempts=int(payload.get("attempts", 1)),
-        diagnostics={provenance: True},
+        diagnostics=diagnostics,
     )

@@ -29,20 +29,60 @@ Instrumented sites (grep for ``faultinject.fire``):
 ``podem.backtrack``       every PODEM backtrack
 ``faultsim.fault``        every fault processed by :meth:`FaultSimulator.run`
 ``checkpoint.save``       before a checkpoint's atomic rename
+``cache.put``             before a result-cache entry's atomic rename
 ``experiment.row``        before each experiment row is computed
 ========================  =====================================================
 
 Everything is process-local and deterministic: hit counters advance only
 while at least one plan is installed, so unrelated code paths cannot
 perturb the schedule.
+
+Process-level chaos
+-------------------
+
+On top of the in-process registry this module carries the **chaos
+harness** used by ``repro chaos run`` and the supervisor tests: plans
+that kill, hang, or stall a whole worker process, or corrupt/ENOSPC a
+durable write, described by the ``REPRO_CHAOS`` environment variable so
+pool children inherit them across ``fork``/``spawn``::
+
+    REPRO_CHAOS="kill:b21@*;hang:b20@0;enospc:cache.put@1" repro table1 --jobs 4
+
+Spec grammar — semicolon-separated ``action:target[@n]`` entries:
+
+=====================  ====================================================
+``kill:<row>[@a]``     SIGKILL the worker when it starts row ``<row>``
+``exit:<row>[@a]``     ``os._exit(42)`` instead (no signal, bad exit code)
+``hang:<row>[@a]``     stop the heartbeat thread, then sleep forever — a
+                       worker that is alive but effectively dead (caught
+                       by the supervisor's stale-heartbeat monitor)
+``stall:<row>[@a]``    sleep forever with a live heartbeat — caught only
+                       by the per-row deadline watchdog
+``corrupt:<site>[@n]`` truncate the file a durable-write site is about to
+                       rename into place (``checkpoint.save``/``cache.put``)
+``enospc:<site>[@n]``  raise ``OSError(ENOSPC)`` at the site's nth hit
+``raise:<site>[@n]``   raise :class:`InjectedFault` at the site's nth hit
+=====================  ====================================================
+
+Row-targeted entries (`kill`/`exit`/`hang`/`stall`) default to the row's
+**first process-level attempt** (``@0``) so the supervisor's retry makes
+the campaign converge to the uninjected result; ``@*`` fires on every
+attempt, which is how a poison row is simulated.  ``<row>`` of ``*``
+matches any row.
 """
 
 from __future__ import annotations
 
 import contextlib
+import errno
+import inspect
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
+
+#: environment variable carrying the process-level chaos spec; worker
+#: processes re-parse it on startup so plans survive ``spawn`` too
+CHAOS_ENV = "REPRO_CHAOS"
 
 #: fast-path flag read by instrumented sites; True iff any plan is installed
 enabled = False
@@ -57,9 +97,10 @@ class _Plan:
     site: str
     at: int
     exc: type[BaseException] | BaseException | None = None
-    action: Callable[[], None] | None = None
+    action: Callable[..., None] | None = None
     repeat: bool = False
     fired: int = field(default=0)
+    wants_ctx: bool = field(default=False)
 
 
 _plans: dict[str, list[_Plan]] = {}
@@ -70,30 +111,47 @@ def install(
     site: str,
     at: int = 1,
     exc: type[BaseException] | BaseException | None = None,
-    action: Callable[[], None] | None = None,
+    action: Callable[..., None] | None = None,
     repeat: bool = False,
 ) -> None:
     """Arm ``site`` to fire on its ``at``-th hit (1-based).
 
     Exactly one of ``exc`` / ``action`` applies: ``action`` is called if
     given, otherwise ``exc`` (default :class:`InjectedFault`) is raised.
-    With ``repeat`` the plan fires on every hit >= ``at``.
+    With ``repeat`` the plan fires on every hit >= ``at``.  An action
+    that declares parameters receives the keyword context the site
+    passes to :func:`fire` (e.g. ``path=`` at the durable-write sites).
     """
     global enabled
     if at < 1:
         raise ValueError("at must be >= 1 (1-based hit count)")
+    wants_ctx = False
+    if action is not None:
+        try:
+            wants_ctx = bool(inspect.signature(action).parameters)
+        except (TypeError, ValueError):  # builtins without signatures
+            wants_ctx = False
     _plans.setdefault(site, []).append(
-        _Plan(site=site, at=at, exc=exc, action=action, repeat=repeat)
+        _Plan(
+            site=site, at=at, exc=exc, action=action, repeat=repeat,
+            wants_ctx=wants_ctx,
+        )
     )
     enabled = True
 
 
 def clear(site: str | None = None) -> None:
-    """Remove plans (for one site, or all) and reset hit counters."""
-    global enabled
+    """Remove plans (for one site, or all) and reset hit counters.
+
+    Clearing everything also disarms the process-level (row-targeted)
+    chaos plans installed from :data:`CHAOS_ENV`.
+    """
+    global enabled, _env_installed
     if site is None:
         _plans.clear()
         _hits.clear()
+        _row_chaos.clear()
+        _env_installed = False
     else:
         _plans.pop(site, None)
         _hits.pop(site, None)
@@ -105,11 +163,13 @@ def hits(site: str) -> int:
     return _hits.get(site, 0)
 
 
-def fire(site: str) -> None:
+def fire(site: str, **context: Any) -> None:
     """Advance ``site``'s hit counter and trigger any due plan.
 
     Instrumented code guards the call with ``faultinject.enabled`` so an
     idle registry costs nothing; calling unconditionally is also safe.
+    ``context`` keywords (e.g. ``path=`` at the durable-write sites) are
+    forwarded to actions that declare parameters.
     """
     if not enabled:
         return
@@ -124,7 +184,10 @@ def fire(site: str) -> None:
             continue
         plan.fired += 1
         if plan.action is not None:
-            plan.action()
+            if plan.wants_ctx:
+                plan.action(**context)
+            else:
+                plan.action()
             continue
         exc = plan.exc
         if exc is None:
@@ -139,7 +202,7 @@ def injected(
     site: str,
     at: int = 1,
     exc: type[BaseException] | BaseException | None = None,
-    action: Callable[[], None] | None = None,
+    action: Callable[..., None] | None = None,
     repeat: bool = False,
 ) -> Iterator[None]:
     """Context manager: install a plan, always clear the site on exit."""
@@ -165,3 +228,108 @@ def corrupt_file(path: str | os.PathLike, garbage: bytes = b"\x00garbage{") -> N
     with open(path, "r+b") as fh:
         fh.seek(0)
         fh.write(garbage)
+
+
+# ---------------------------------------------------------------------- #
+# process-level chaos: plans parsed from the REPRO_CHAOS environment
+# variable so supervisor worker processes inherit them
+
+#: worker-process actions a row-targeted chaos entry may request
+ROW_ACTIONS = frozenset({"kill", "exit", "hang", "stall"})
+
+#: in-process sites a ``corrupt:``/``enospc:``/``raise:`` entry may target
+_SITE_ACTIONS = frozenset({"corrupt", "enospc", "raise"})
+
+
+@dataclass
+class _RowChaos:
+    action: str                # one of ROW_ACTIONS
+    row: str                   # row key, or "*" for any row
+    attempt: int | None        # process-level attempt, None = every attempt
+
+
+_row_chaos: list[_RowChaos] = []
+_env_installed = False
+
+
+class ChaosSpecError(ValueError):
+    """A ``REPRO_CHAOS`` spec entry could not be parsed."""
+
+
+def _truncate_ctx(path: str | os.PathLike | None = None) -> None:
+    """Corrupt-site action: tear the file the site is about to commit."""
+    if path is not None:
+        truncate_file(path, keep_bytes=7)
+
+
+def install_chaos(spec: str) -> int:
+    """Arm the chaos plans described by one ``REPRO_CHAOS``-style spec.
+
+    Returns the number of entries installed.  Raises
+    :class:`ChaosSpecError` on a malformed entry — a chaos harness that
+    silently ignores a typo proves nothing.
+    """
+    installed = 0
+    for raw in spec.split(";"):
+        entry = raw.strip()
+        if not entry:
+            continue
+        action, sep, target = entry.partition(":")
+        if not sep or not target:
+            raise ChaosSpecError(f"chaos entry {entry!r}: expected action:target")
+        target, at_sep, at_raw = target.partition("@")
+        if action in ROW_ACTIONS:
+            attempt: int | None = 0
+            if at_sep:
+                attempt = None if at_raw == "*" else int(at_raw)
+            _row_chaos.append(_RowChaos(action=action, row=target, attempt=attempt))
+        elif action in _SITE_ACTIONS:
+            at = int(at_raw) if at_sep else 1
+            if action == "corrupt":
+                install(target, at=at, action=_truncate_ctx)
+            elif action == "enospc":
+                install(
+                    target, at=at,
+                    exc=OSError(errno.ENOSPC, "injected: no space left on device"),
+                )
+            else:
+                install(target, at=at, exc=InjectedFault)
+        else:
+            raise ChaosSpecError(
+                f"chaos entry {entry!r}: unknown action {action!r}"
+            )
+        installed += 1
+    return installed
+
+
+def install_from_env(environ: Any = None) -> int:
+    """Arm chaos plans from :data:`CHAOS_ENV` (idempotent per process).
+
+    Called by the supervisor's worker bootstrap and by ``repro chaos
+    run`` in the parent; a process without the variable (or that already
+    parsed it) installs nothing.  Returns the entries installed.
+    """
+    global _env_installed
+    if _env_installed:
+        return 0
+    spec = (environ if environ is not None else os.environ).get(CHAOS_ENV)
+    _env_installed = True
+    if not spec:
+        return 0
+    return install_chaos(spec)
+
+
+def chaos_row_action(row: str, attempt: int) -> str | None:
+    """First armed row-targeted action due for ``(row, attempt)``.
+
+    The supervisor's worker loop consults this as each row starts and
+    enacts the verdict itself (SIGKILL / ``os._exit`` / heartbeat-dead
+    hang / live-heartbeat stall) — the registry only decides *whether*.
+    """
+    for plan in _row_chaos:
+        if plan.row not in ("*", row):
+            continue
+        if plan.attempt is not None and plan.attempt != attempt:
+            continue
+        return plan.action
+    return None

@@ -37,6 +37,8 @@ KNOWN_SPANS = frozenset(
         "optape.run",
         # experiment layer
         "experiment.row",
+        # supervised worker fleet (repro.runtime.supervisor)
+        "supervisor.run",
         # content-addressed result cache (repro.cache)
         "cache.lookup",
         # bench harness measurements
@@ -59,6 +61,15 @@ KNOWN_COUNTERS = frozenset(
         "cache.hit",
         "cache.miss",
         "cache.evict",
+        # robustness layer: process-level containment and degradation
+        "supervisor.crashes",
+        "supervisor.hangs",
+        "supervisor.requeues",
+        "supervisor.restarts",
+        "supervisor.quarantined",
+        "cache.degraded",
+        "telemetry.degraded",
+        "checkpoint.corrupt",
     }
 )
 

@@ -40,6 +40,7 @@ import json
 import os
 import threading
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
@@ -84,6 +85,11 @@ class JsonlSink(Sink):
     line emitted with a single :func:`os.write` — on POSIX, concurrent
     appenders (e.g. the :class:`~repro.experiments.runner.ExperimentRunner`
     worker pool) therefore never interleave partial lines.
+
+    A write failing with ``OSError`` (disk full, trace file on a
+    filesystem gone read-only) **degrades** the sink: the descriptor is
+    closed, every later write becomes a no-op, and a one-time warning is
+    issued — observability must never cost the campaign its rows.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -92,13 +98,30 @@ class JsonlSink(Sink):
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         self._lock = threading.Lock()
+        self.degraded = False
 
     def write(self, record: Mapping[str, Any]) -> None:
         line = json.dumps(record, separators=(",", ":"), sort_keys=True)
         data = line.encode() + b"\n"
         with self._lock:
-            if self._fd is not None:
+            if self._fd is None:
+                return
+            try:
                 os.write(self._fd, data)
+            except OSError as exc:
+                self.degraded = True
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+                self._fd = None
+                counter_add("telemetry.degraded")
+                warnings.warn(
+                    f"telemetry sink {self.path} degraded after a failed "
+                    f"write ({exc}); further records are dropped",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     def close(self) -> None:
         with self._lock:

@@ -14,6 +14,7 @@ Covers the correctness contract in docs/CACHING.md:
 """
 
 import dataclasses
+import errno
 import json
 import multiprocessing
 
@@ -27,7 +28,7 @@ from repro.cache.cli import run_cache_cli
 from repro.experiments import ExperimentRunner, RowTask, RunPolicy
 from repro.locking import WLLConfig, lock_weighted
 from repro.netlist import GateType, Netlist
-from repro.runtime import RunStatus
+from repro.runtime import RunStatus, faultinject
 from repro.runtime.budget import Budget
 from repro.sim.metrics import measure_corruption
 
@@ -228,6 +229,55 @@ class TestStore:
         assert stats.entries == 3
         assert stats.by_kind == {"kind.a": 2, "kind.b": 1}
         assert stats.to_dict()["by_kind"] == {"kind.a": 2, "kind.b": 1}
+
+
+class TestDegradation:
+    """Disk-full / read-only filesystems turn the cache read-only for the
+    rest of the run — a warning and a counter, never a failed row."""
+
+    def test_enospc_on_entry_write_degrades_to_read_only(self, store):
+        healthy = _key(seed=1)
+        store.put(healthy, {"v": 1})
+        faultinject.install(
+            "cache.put", exc=OSError(errno.ENOSPC, "no space left on device")
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match="degraded to read-only"):
+                assert store.put(_key(seed=2), {"v": 2}) is None
+        finally:
+            faultinject.clear()
+        assert store.degraded and store.stats().degraded
+        # reads keep serving what already made it to disk
+        assert store.get(healthy) == {"v": 1}
+        # later writes are dropped silently (the warning fired once)
+        assert store.put(_key(seed=3), {"v": 3}) is None
+        assert store.get(_key(seed=3)) is None
+
+    def test_failing_index_append_degrades(self, store, monkeypatch):
+        def fail_open(*args, **kwargs):
+            raise OSError(errno.EROFS, "read-only file system")
+
+        with monkeypatch.context() as m:
+            m.setattr("os.open", fail_open)
+            with pytest.warns(RuntimeWarning, match="index append failed"):
+                store.put(_key(seed=7), {"v": 7})
+        assert store.degraded
+
+    def test_degradation_bumps_counter(self, store):
+        from repro import telemetry
+        from repro.telemetry import MemorySink
+
+        telemetry.configure(MemorySink())
+        faultinject.install(
+            "cache.put", exc=OSError(errno.ENOSPC, "no space left on device")
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match="degraded"):
+                store.put(_key(seed=8), {"v": 8})
+            assert telemetry.counter_totals().get("cache.degraded") == 1
+        finally:
+            faultinject.clear()
+            telemetry.shutdown()
 
 
 def _worker_put(root, start, n):

@@ -76,6 +76,22 @@ class TestCorruption:
         assert store.load("k") is None
         assert "k" in store.corrupted
 
+    def test_corrupt_checkpoint_warns_never_raises(self, store):
+        """A torn checkpoint degrades to a recompute with a visible
+        warning and a ``checkpoint.corrupt`` counter — not a traceback."""
+        from repro import telemetry
+        from repro.telemetry import MemorySink
+
+        store.save("k", {"status": "ok", "row": {"hd": 1.0}})
+        truncate_file(store.path_for("k"), keep_bytes=5)
+        telemetry.configure(MemorySink())
+        try:
+            with pytest.warns(RuntimeWarning, match="skipping corrupt checkpoint"):
+                assert store.load("k") is None
+            assert telemetry.counter_totals().get("checkpoint.corrupt") == 1
+        finally:
+            telemetry.shutdown()
+
     def test_recompute_overwrites_corrupt_row(self, store):
         store.save("k", {"v": "good"})
         truncate_file(store.path_for("k"), keep_bytes=2)

@@ -184,6 +184,21 @@ class TestRunWithRetry:
         assert slept == [0.5, 1.0]  # deterministic exponential backoff
         assert len(out.diagnostics["retry_history"]) == 2
 
+    def test_retry_history_records_every_failed_attempt(self):
+        def broken(budget=None):
+            raise ValueError("attempt failed")
+
+        slept = []
+        out = run_with_retry(broken, retries=2, backoff_s=0.25,
+                             sleep=slept.append)
+        assert out.status is RunStatus.ERROR and out.attempts == 3
+        history = out.diagnostics["retry_history"]
+        assert [h["attempt"] for h in history] == [1, 2]
+        assert all(h["status"] == "error" for h in history)
+        assert all("attempt failed" in h["error"] for h in history)
+        # the injected sleep pins the schedule: backoff_s * 2**attempt
+        assert slept == [0.25, 0.5]
+
     def test_budget_outcomes_not_retried(self):
         calls = []
 

@@ -138,6 +138,27 @@ class TestJsonlSink:
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             list(iter_trace(path))
 
+    def test_failed_write_degrades_sink_not_the_run(self, tmp_path, monkeypatch):
+        """Disk-full mid-campaign drops telemetry with one warning; the
+        records already on disk stay intact and later writes are no-ops."""
+        import errno
+
+        path = tmp_path / "full.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"kind": "meta", "n": 1})
+
+        def fail_write(fd, data):
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        with monkeypatch.context() as m:
+            m.setattr("os.write", fail_write)
+            with pytest.warns(RuntimeWarning, match="degraded after a failed"):
+                sink.write({"kind": "meta", "n": 2})
+        assert sink.degraded
+        sink.write({"kind": "meta", "n": 3})  # dropped silently
+        sink.close()
+        assert len(path.read_text().splitlines()) == 1
+
 
 class TestSchema:
     def _span(self, **over):
