@@ -9,7 +9,8 @@ fails (exit 1) on a regression:
   but the fresh report lacks is always a failure (a silently shrinking
   benchmark is the classic way perf gates rot);
 * **slowdown** — a higher-is-better metric (``speedup``,
-  ``optape_key_patterns_per_s``) dropping more than ``--threshold``
+  ``fused_speedup``, ``satattack.conflict_ratio``,
+  ``satattack.dips_per_solve``) dropping more than ``--threshold``
   percent (default 25) below baseline, or a lower-is-better overhead
   metric growing past both its baseline + threshold *and* its embedded
   acceptance bound;
@@ -112,15 +113,56 @@ def compare_sim(gate: Gate, baseline: dict, fresh: dict | None) -> None:
         gate.check_higher_better(
             f"sim.{name}.speedup", float(base_speedup), float(speedup)
         )
-        tput = fresh_row.get("optape_key_patterns_per_s")
-        if tput is None:
-            gate.fail(f"sim: {name}: 'optape_key_patterns_per_s' missing")
+        fused = fresh_row.get("fused_speedup")
+        base_fused = base_row.get("fused_speedup")
+        if fused is None or base_fused is None:
+            gate.fail(f"sim: {name}: 'fused_speedup' metric missing")
         else:
-            # cross-machine absolute throughput: informational only
-            gate.info(
-                f"sim.{name}.optape_key_patterns_per_s  "
-                f"fresh {float(tput):,.0f} (not gated across machines)"
+            gate.check_higher_better(
+                f"sim.{name}.fused_speedup", float(base_fused), float(fused)
             )
+        for tput_field in (
+            "optape_key_patterns_per_s",
+            "fused_key_patterns_per_s",
+        ):
+            tput = fresh_row.get(tput_field)
+            if tput is None:
+                gate.fail(f"sim: {name}: {tput_field!r} missing")
+            else:
+                # cross-machine absolute throughput: informational only
+                gate.info(
+                    f"sim.{name}.{tput_field}  "
+                    f"fresh {float(tput):,.0f} (not gated across machines)"
+                )
+    _compare_satattack(gate, baseline, fresh)
+
+
+def _compare_satattack(gate: Gate, baseline: dict, fresh: dict) -> None:
+    """Gate the SAT-attack solver-efficiency block of BENCH_sim.json.
+
+    Both regimes are deterministic, so ``conflict_ratio`` and
+    ``dips_per_solve`` are machine-independent and gated like within-run
+    speedups; wall-clock seconds stay informational.
+    """
+    base_sat = baseline.get("satattack")
+    fresh_sat = fresh.get("satattack")
+    if not isinstance(base_sat, dict):
+        gate.fail("sim: baseline 'satattack' block missing")
+        return
+    if not isinstance(fresh_sat, dict):
+        gate.fail("sim: fresh 'satattack' block missing")
+        return
+    if fresh_sat.get("match") is not True:
+        gate.fail("sim: satattack: a regime failed to recover a correct key")
+    for field in ("conflict_ratio", "dips_per_solve"):
+        base_v = base_sat.get(field)
+        fresh_v = fresh_sat.get(field)
+        if base_v is None or fresh_v is None:
+            gate.fail(f"sim: satattack: {field!r} metric missing")
+            continue
+        gate.check_higher_better(
+            f"sim.satattack.{field}", float(base_v), float(fresh_v)
+        )
 
 
 def compare_telemetry(gate: Gate, baseline: dict, fresh: dict | None) -> None:

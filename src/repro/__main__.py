@@ -101,6 +101,23 @@ def main(argv: list[str] | None = None) -> int:
             help="append telemetry spans/counters to this JSONL trace "
             "(merged across --jobs workers)",
         )
+        p.add_argument(
+            "--sim-backend",
+            type=str,
+            default="auto",
+            metavar="LANE",
+            help="bit-parallel simulation backend for campaign rows "
+            "(auto, fused, numpy, numba, cupy, scalar-free lanes only; "
+            "default auto)",
+        )
+        p.add_argument(
+            "--max-matrix-bytes",
+            type=int,
+            default=None,
+            metavar="BYTES",
+            help="cap on the transient simulation value matrix per chunk "
+            "(default: REPRO_MAX_MATRIX_BYTES env or 32 MiB)",
+        )
         add_cache_flags(p)
 
     p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
@@ -171,6 +188,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="tiny fixed workload: verifies engine/scalar agreement only "
         "(never fails on timing)",
+    )
+    pb.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="LANE",
+        help="benchmark one extra execution lane (e.g. numba, cupy); "
+        "skipped with a notice when its runtime is unavailable",
+    )
+    pb.add_argument(
+        "--profile",
+        type=str,
+        nargs="?",
+        const=".bench-profile",
+        default=None,
+        metavar="DIR",
+        help="write a cProfile artifact per benched circuit into DIR "
+        "(default .bench-profile)",
     )
 
     pc = sub.add_parser(
@@ -314,6 +349,8 @@ def main(argv: list[str] | None = None) -> int:
             repeats=args.repeats,
             out=args.out,
             smoke=args.smoke,
+            backend=args.backend,
+            profile_dir=args.profile,
         )
 
     if args.cmd == "cache":
@@ -377,6 +414,8 @@ def main(argv: list[str] | None = None) -> int:
         jobs = getattr(a, "jobs", 1)
         trace = getattr(a, "trace", None)
         cache_dir = cache_dir_of(a)
+        sim_backend = getattr(a, "sim_backend", "auto")
+        max_matrix_bytes = getattr(a, "max_matrix_bytes", None)
         if (
             checkpoint_dir is None
             and not a.resume
@@ -385,6 +424,8 @@ def main(argv: list[str] | None = None) -> int:
             and jobs <= 1
             and trace is None
             and cache_dir is None
+            and sim_backend == "auto"
+            and max_matrix_bytes is None
         ):
             return None
         return RunPolicy(
@@ -396,6 +437,8 @@ def main(argv: list[str] | None = None) -> int:
             trace_path=trace,
             cache_dir=cache_dir,
             worker_retries=getattr(a, "worker_retries", 1),
+            sim_backend=sim_backend,
+            max_matrix_bytes=max_matrix_bytes,
         )
 
     from .runtime import CampaignInterrupted

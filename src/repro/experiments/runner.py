@@ -92,6 +92,22 @@ class RunPolicy:
         retry_quarantined: recompute quarantined rows on ``--resume``
             instead of reusing their quarantine verdict (default False:
             a poison row would just take workers down again).
+        sim_backend: execution lane for the campaign's bit-parallel
+            simulation (:mod:`repro.sim.backends`); threaded into every
+            row that measures corruption and into its cache fingerprint,
+            so results from different lanes never alias.
+        max_matrix_bytes: transient value-matrix chunking bound for
+            :func:`repro.sim.metrics.measure_corruption` (None = the
+            ``REPRO_MAX_MATRIX_BYTES`` env override or the 32 MiB
+            default).
+        prewarm: tuple of ``(callable, args)`` pairs executed by every
+            supervised-pool worker at bootstrap.  Each callable must be
+            module-level (it pickles with the policy) and return a
+            :class:`~repro.netlist.Netlist` — or an iterable of them —
+            which the worker compiles into its op-tape engine cache, so
+            the per-process compile happens once up front instead of
+            inside the first row's budget.  Each compile bumps the
+            ``optape.compile.shared`` counter.
     """
 
     checkpoint_dir: str | Path | None = None
@@ -111,6 +127,9 @@ class RunPolicy:
     hang_grace_s: float = 30.0
     heartbeat_interval_s: float = 1.0
     retry_quarantined: bool = False
+    sim_backend: str = "auto"
+    max_matrix_bytes: int | None = None
+    prewarm: tuple = ()
 
     def row_allowance_s(self) -> float | None:
         """Worst-case in-process wall clock for one supervised row.
@@ -223,12 +242,41 @@ def _pool_worker(
     return outcome
 
 
+def _run_prewarm(policy: RunPolicy) -> None:
+    """Compile the policy's pre-warm netlists into this process's op-tape
+    engine cache.
+
+    A prewarm failure is deliberately non-fatal: the worker still serves
+    rows (each row compiles lazily as before), it just loses the shared
+    head start.  Every successful compile bumps ``optape.compile.shared``
+    so traces can prove the pre-warm actually happened per worker.
+    """
+    if not policy.prewarm:
+        return
+    from ..netlist import Netlist
+    from ..sim.optape import compile_engine
+
+    for fn, args in policy.prewarm:
+        try:
+            produced = fn(*args)
+            netlists = (
+                [produced] if isinstance(produced, Netlist) else list(produced)
+            )
+            for netlist in netlists:
+                compile_engine(netlist)
+                telemetry.counter_add("optape.compile.shared")
+        except Exception:  # a cold cache is a slow start, not a crash
+            continue
+
+
 def _supervised_worker_init(policy: RunPolicy) -> None:
     """Per-worker bootstrap for the supervised pool: join the campaign's
-    shared trace and result cache (both idempotent per process)."""
+    shared trace and result cache (both idempotent per process), then
+    pre-warm the compiled op-tape cache with the campaign's netlists."""
     if policy.trace_path is not None:
         telemetry.configure(path=policy.trace_path)
     _configure_policy_cache(policy)
+    _run_prewarm(policy)
 
 
 def _supervised_row(

@@ -20,7 +20,7 @@ Methodology notes mirrored from the paper:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 
 from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
 from ..lint import lint_netlist
@@ -61,13 +61,17 @@ def lock_for_table1(
     n_keys: int = 8,
     rng: int = 0,
     budget: Budget | None = None,
+    backend: str = "auto",
+    max_matrix_bytes: int | None = None,
 ):
     """Apply WLL, growing the key-gate count until HD hits the target or
     saturates.  Returns ``(locked, corruption_report, n_key_gates)``.
 
     ``budget`` (if given) is polled for its wall-clock deadline once per
     doubling step — each step simulates ``n_patterns * n_keys`` patterns,
-    the natural checkpoint of this loop.
+    the natural checkpoint of this loop.  ``backend`` and
+    ``max_matrix_bytes`` are forwarded to
+    :func:`~repro.sim.measure_corruption`.
     """
     n_gates = max(1, key_width // control_inputs)
     best = None
@@ -88,6 +92,8 @@ def lock_for_table1(
             n_patterns=n_patterns,
             n_keys=n_keys,
             seed=rng,
+            backend=backend,
+            max_matrix_bytes=max_matrix_bytes,
         )
         best = (locked, report, n_gates)
         if report.hd_percent >= hd_target:
@@ -108,6 +114,8 @@ def _table1_compute(
     n_patterns: int,
     n_keys: int,
     seed: int,
+    backend: str = "auto",
+    max_matrix_bytes: int | None = None,
     budget: Budget | None = None,
 ) -> Table1Row:
     """One Table I row (module-level so it pickles to pool workers)."""
@@ -122,6 +130,8 @@ def _table1_compute(
         n_keys=n_keys,
         rng=seed,
         budget=budget,
+        backend=backend,
+        max_matrix_bytes=max_matrix_bytes,
     )
     lfsr_cfg = LFSRConfig(size=key_width)
     overhead = measure_overhead(locked.original, locked.locked, lfsr_cfg)
@@ -148,6 +158,22 @@ def _table1_preflight(name: str, scale: float):
     )
 
 
+def _table1_prewarm(name: str, scale: float, seed: int):
+    """Pre-warm factory (module-level so it pickles with the policy):
+    the locked netlist a row's *first* ``lock_for_table1`` step measures,
+    so supervised workers compile it once at bootstrap instead of inside
+    the row's budget."""
+    spec = PAPER_CIRCUITS[name]
+    netlist = build_paper_circuit(name, scale=scale)
+    key_width = scaled_key_size(name, scale)
+    cfg = WLLConfig(
+        key_width=key_width,
+        control_width=spec.control_inputs,
+        n_key_gates=max(1, key_width // spec.control_inputs),
+    )
+    return lock_weighted(netlist, cfg, rng=seed).locked
+
+
 def run_table1(
     scale: float = DEFAULT_SCALE,
     circuits: list[str] | None = None,
@@ -163,6 +189,20 @@ def run_table1(
     ``timeout``/``budget``/``error`` are dropped from the table (their
     verdicts live in the checkpoint store).
     """
+    backend = policy.sim_backend if policy is not None else "auto"
+    max_matrix_bytes = (
+        policy.max_matrix_bytes if policy is not None else None
+    )
+    names = list(circuits or PAPER_ORDER)
+    if policy is not None and policy.jobs > 1 and not policy.prewarm:
+        # supervised workers compile each row's first locked netlist at
+        # bootstrap (optape.compile.shared) instead of inside row budgets
+        policy = replace(
+            policy,
+            prewarm=tuple(
+                (_table1_prewarm, (name, scale, seed)) for name in names
+            ),
+        )
     runner = ExperimentRunner(
         "table1",
         policy,
@@ -171,6 +211,8 @@ def run_table1(
             "n_patterns": n_patterns,
             "n_keys": n_keys,
             "seed": seed,
+            "sim_backend": backend,
+            "max_matrix_bytes": max_matrix_bytes,
         },
     )
     tasks = [
@@ -178,12 +220,16 @@ def run_table1(
             key=name,
             compute=_table1_compute,
             args=(name, scale, n_patterns, n_keys, seed),
+            kwargs={
+                "backend": backend,
+                "max_matrix_bytes": max_matrix_bytes,
+            },
             encode=asdict,
             decode=lambda d: Table1Row(**d),
             preflight=_table1_preflight,
             preflight_args=(name, scale),
         )
-        for name in circuits or PAPER_ORDER
+        for name in names
     ]
     outcomes = runner.run_rows(tasks)
     return [o.value for o in outcomes if o.value is not None]

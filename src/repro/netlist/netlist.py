@@ -41,6 +41,9 @@ class Netlist:
         self._topo: list[str] | None = None
         self._fanout: dict[str, list[str]] | None = None
         self._levels: dict[str, int] | None = None
+        #: memo slot for :func:`repro.sim.optape.netlist_fingerprint`;
+        #: cleared on every mutation like the other derived caches
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -206,6 +209,7 @@ class Netlist:
         self._topo = None
         self._fanout = None
         self._levels = None
+        self._fingerprint = None
 
     def validate(self) -> None:
         """Raise :class:`NetlistError` on dangling nets, missing outputs,

@@ -1,12 +1,24 @@
-"""``repro bench`` — compiled op-tape engine vs scalar simulation.
+"""``repro bench`` — execution-backend benchmark for the sim layer.
 
 Times the Table I corruption workload (WLL-locked circuit, many wrong
-keys, a pseudorandom pattern block) on both :func:`measure_corruption`
-backends and writes a machine-readable ``BENCH_sim.json``.  Correctness
-comes first: the two backends' :class:`CorruptionReport`\\ s are compared
-field for field, and any disagreement makes the benchmark *fail* —
-timing never does (a loaded CI box must not flake the build, so the
-smoke job asserts agreement only).
+keys, a pseudorandom pattern block) on the scalar oracle and on each
+always-available execution lane (the grouped ``numpy`` reference and the
+planned ``fused`` CPU backend), and writes a machine-readable
+``BENCH_sim.json``.  Correctness comes first: every lane's
+:class:`CorruptionReport` is compared field for field against the scalar
+oracle, and any disagreement makes the benchmark *fail* — timing never
+does (a loaded CI box must not flake the build, so the smoke job asserts
+agreement only).
+
+An optional lane (``--backend numba``/``cupy``) is benchmarked when its
+runtime is importable and *skipped* — not failed — when it is not, so
+the CI backend matrix can run the same command everywhere.
+
+A SAT-attack block times the legacy one-solve-per-DIP regime against the
+incremental solver (activation literal + batched DIP probing) on a fixed
+RLL instance and records the solver-efficiency ratios
+(``conflict_ratio``, ``dips_per_solve``) that
+``scripts/bench_compare.py`` gates.
 
 Timing discipline: every measurement is the minimum over ``repeats``
 runs — the minimum is the right estimator for a deterministic workload,
@@ -16,8 +28,12 @@ ever adds time.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import platform
+import pstats
+import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -26,6 +42,7 @@ import numpy as np
 from .. import telemetry
 from ..bench.registry import PAPER_CIRCUITS, build_paper_circuit, scaled_key_size
 from ..locking import WLLConfig, lock_weighted
+from .backends import BackendUnavailable, resolve_backend
 from .metrics import DEFAULT_MAX_MATRIX_BYTES, measure_corruption
 from .optape import clear_engine_cache, compile_engine
 
@@ -39,6 +56,9 @@ SMOKE_CIRCUITS = ("s38417", "b20")
 SMOKE_SCALE = 0.02
 SMOKE_KEYS = 9
 SMOKE_PATTERNS = 777  # deliberately not a multiple of 64 (tail masking)
+
+#: always-benchmarked execution lanes (beyond the scalar oracle)
+STANDARD_LANES = ("numpy", "fused")
 
 
 def _best_of(
@@ -62,6 +82,16 @@ def _best_of(
     return best, value
 
 
+def _write_profile(profile: cProfile.Profile, out_dir: Path, stem: str) -> None:
+    """Dump one profile as ``<stem>.pstats`` plus a human-readable top-25."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profile.dump_stats(out_dir / f"{stem}.pstats")
+    buf = io.StringIO()
+    stats = pstats.Stats(profile, stream=buf)
+    stats.sort_stats("cumulative").print_stats(25)
+    (out_dir / f"{stem}.txt").write_text(buf.getvalue())
+
+
 def bench_circuit(
     name: str,
     scale: float,
@@ -69,8 +99,17 @@ def bench_circuit(
     n_patterns: int,
     repeats: int,
     seed: int = 0,
+    extra_backend: str | None = None,
+    profile_dir: str | Path | None = None,
 ) -> dict[str, Any]:
-    """Benchmark one circuit; returns its result row (JSON-able dict)."""
+    """Benchmark one circuit; returns its result row (JSON-able dict).
+
+    Lanes timed: the scalar oracle, the grouped ``numpy`` reference
+    (reported as ``optape_s`` for baseline continuity) and the planned
+    ``fused`` backend; ``extra_backend`` adds one more lane (caller is
+    responsible for availability).  ``profile_dir`` additionally records
+    one profiled pass per lane into ``bench_<circuit>.pstats``.
+    """
     spec = PAPER_CIRCUITS[name]
     netlist = build_paper_circuit(name, scale=scale)
     key_width = scaled_key_size(name, scale)
@@ -97,14 +136,34 @@ def bench_circuit(
             backend=backend,
         )
 
-    # warm both paths once (compile cache, numpy ufunc setup), then time
-    report_optape = run("batched")
+    lanes = list(STANDARD_LANES)
+    if extra_backend is not None:
+        lanes.append(extra_backend)
+
+    # warm every path once (compile cache, plan cache, numpy ufunc and
+    # allocator setup), then time
     report_scalar = run("scalar")
-    t_optape, _ = _best_of(lambda: run("batched"), repeats, label=f"{name}:batched")
+    reports = {lane: run(lane) for lane in lanes}
     t_scalar, _ = _best_of(lambda: run("scalar"), repeats, label=f"{name}:scalar")
+    times = {
+        lane: _best_of(
+            lambda lane=lane: run(lane), repeats, label=f"{name}:{lane}"
+        )[0]
+        for lane in lanes
+    }
+
+    if profile_dir is not None:
+        profile = cProfile.Profile()
+        profile.enable()
+        for lane in lanes:
+            run(lane)
+        profile.disable()
+        _write_profile(profile, Path(profile_dir), f"bench_{name}")
 
     key_patterns = n_keys * n_patterns
-    return {
+    t_optape = times["numpy"]
+    t_fused = times["fused"]
+    row = {
         "circuit": name,
         "scale": scale,
         "n_nets": engine.n_nets,
@@ -114,11 +173,104 @@ def bench_circuit(
         "n_patterns": n_patterns,
         "scalar_s": round(t_scalar, 6),
         "optape_s": round(t_optape, 6),
+        "fused_s": round(t_fused, 6),
         "speedup": round(t_scalar / t_optape, 2) if t_optape > 0 else None,
+        "fused_speedup": round(t_scalar / t_fused, 2) if t_fused > 0 else None,
         "scalar_key_patterns_per_s": round(key_patterns / t_scalar, 1),
         "optape_key_patterns_per_s": round(key_patterns / t_optape, 1),
-        "match": report_optape == report_scalar,
-        "hd_percent": round(report_optape.hd_percent, 4),
+        "fused_key_patterns_per_s": round(key_patterns / t_fused, 1),
+        "match": all(r == report_scalar for r in reports.values()),
+        "hd_percent": round(reports["fused"].hd_percent, 4),
+    }
+    if extra_backend is not None:
+        t_extra = times[extra_backend]
+        row[f"{extra_backend}_s"] = round(t_extra, 6)
+        row[f"{extra_backend}_speedup"] = (
+            round(t_scalar / t_extra, 2) if t_extra > 0 else None
+        )
+    return row
+
+
+#: fixed RLL instance for the SAT-attack solver-efficiency block — small
+#: enough for the pure-Python CDCL solver, multi-DIP enough that batching
+#: and clause retention have something to win
+SATATTACK_BENCH = {
+    "n_inputs": 10,
+    "n_outputs": 10,
+    "n_gates": 120,
+    "depth": 6,
+    "circuit_seed": 4,
+    "key_width": 16,
+    "lock_seed": 7,
+}
+
+
+def bench_satattack(seed: int = 0) -> dict[str, Any]:
+    """Time legacy vs incremental SAT attack on a fixed RLL instance.
+
+    The instance and both solving regimes are fully deterministic, so
+    ``conflict_ratio`` (legacy/incremental conflicts, higher is better)
+    and ``dips_per_solve`` are stable across machines and can be gated —
+    unlike the wall-clock seconds, which are informational.
+    """
+    from ..attacks import SATAttackConfig, sat_attack
+    from ..attacks.oracle import IdealOracle
+    from ..bench.generator import GeneratorConfig, generate_netlist
+    from ..locking import lock_random
+    from ..sat import prove_unlocks
+
+    p = SATATTACK_BENCH
+    base = generate_netlist(
+        GeneratorConfig(
+            n_inputs=p["n_inputs"],
+            n_outputs=p["n_outputs"],
+            n_gates=p["n_gates"],
+            depth=p["depth"],
+            seed=p["circuit_seed"],
+            name="satbench",
+        )
+    )
+    lc = lock_random(base, p["key_width"], rng=p["lock_seed"])
+
+    def attack(incremental: bool) -> tuple[dict[str, Any], bool]:
+        t0 = time.perf_counter()
+        res = sat_attack(
+            lc.locked,
+            lc.key_inputs,
+            IdealOracle(base),
+            SATAttackConfig(
+                max_iterations=256, seed=seed, incremental=incremental
+            ),
+        )
+        elapsed = time.perf_counter() - t0
+        unlocks = res.recovered_key is not None and prove_unlocks(
+            base, lc.locked, res.recovered_key
+        )
+        return {
+            "time_s": round(elapsed, 6),
+            "dips": res.iterations,
+            "oracle_queries": res.oracle_queries,
+            "conflicts": res.notes["conflicts"],
+            "n_solves": res.notes["n_solves"],
+            "dips_per_solve": res.notes["dips_per_solve"],
+        }, unlocks
+
+    legacy, legacy_ok = attack(incremental=False)
+    incremental, incremental_ok = attack(incremental=True)
+    # legacy "conflicts" undercounts (its fresh extraction solver is not
+    # included) while the incremental figure is total — conservative
+    conflict_ratio = (
+        round(legacy["conflicts"] / incremental["conflicts"], 4)
+        if incremental["conflicts"]
+        else None
+    )
+    return {
+        "instance": dict(p),
+        "legacy": legacy,
+        "incremental": incremental,
+        "conflict_ratio": conflict_ratio,
+        "dips_per_solve": incremental["dips_per_solve"],
+        "match": legacy_ok and incremental_ok,
     }
 
 
@@ -130,6 +282,8 @@ def run_bench(
     repeats: int = 5,
     seed: int = 0,
     smoke: bool = False,
+    extra_backend: str | None = None,
+    profile_dir: str | Path | None = None,
 ) -> dict[str, Any]:
     """Run the benchmark suite; returns the full report dict.
 
@@ -145,11 +299,25 @@ def run_bench(
         circuits = list(circuits or DEFAULT_BENCH_CIRCUITS)
         scale = DEFAULT_BENCH_SCALE if scale is None else scale
     rows = [
-        bench_circuit(name, scale, n_keys, n_patterns, repeats, seed=seed)
+        bench_circuit(
+            name,
+            scale,
+            n_keys,
+            n_patterns,
+            repeats,
+            seed=seed,
+            extra_backend=extra_backend,
+            profile_dir=profile_dir,
+        )
         for name in circuits
     ]
+    satattack = bench_satattack(seed=seed)
     total_scalar = sum(r["scalar_s"] for r in rows)
     total_optape = sum(r["optape_s"] for r in rows)
+    total_fused = sum(r["fused_s"] for r in rows)
+    lanes = list(STANDARD_LANES) + (
+        [extra_backend] if extra_backend is not None else []
+    )
     return {
         "workload": {
             "circuits": circuits,
@@ -160,6 +328,7 @@ def run_bench(
             "seed": seed,
             "smoke": smoke,
             "max_matrix_bytes": DEFAULT_MAX_MATRIX_BYTES,
+            "lanes": lanes,
         },
         "environment": {
             "python": platform.python_version(),
@@ -167,13 +336,18 @@ def run_bench(
             "machine": platform.machine(),
         },
         "circuits": rows,
+        "satattack": satattack,
         "aggregate": {
             "scalar_s": round(total_scalar, 6),
             "optape_s": round(total_optape, 6),
+            "fused_s": round(total_fused, 6),
             "speedup": round(total_scalar / total_optape, 2)
             if total_optape > 0
             else None,
-            "all_match": all(r["match"] for r in rows),
+            "fused_speedup": round(total_scalar / total_fused, 2)
+            if total_fused > 0
+            else None,
+            "all_match": all(r["match"] for r in rows) and satattack["match"],
         },
     }
 
@@ -186,9 +360,29 @@ def run_bench_cli(
     repeats: int = 5,
     out: str = "BENCH_sim.json",
     smoke: bool = False,
+    backend: str | None = None,
+    profile_dir: str | None = None,
 ) -> int:
     """CLI driver: print the table, write ``out``, exit non-zero only on
-    an engine/scalar disagreement (never on timing)."""
+    a lane/scalar disagreement (never on timing).
+
+    ``backend`` requests one extra lane beyond the standard numpy+fused
+    pair; when its runtime is missing (no numba wheel, no CUDA device)
+    the lane is *skipped* with a notice and exit stays 0, so the CI
+    backend matrix can run unconditionally.
+    """
+    extra = backend
+    if extra in (None, "numpy", "fused"):
+        extra = None  # standard lanes are always measured
+    if extra is not None:
+        try:
+            resolve_backend(extra)
+        except BackendUnavailable as exc:
+            print(f"skip: extra lane {extra!r} unavailable ({exc})")
+            extra = None
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
     report = run_bench(
         circuits=circuits,
         scale=scale,
@@ -196,32 +390,53 @@ def run_bench_cli(
         n_patterns=n_patterns,
         repeats=repeats,
         smoke=smoke,
+        extra_backend=extra,
+        profile_dir=profile_dir,
     )
     w = report["workload"]
     print(
         f"sim bench: {','.join(w['circuits'])} @ scale {w['scale']:g}, "
         f"{w['n_keys']} keys x {w['n_patterns']} patterns "
-        f"(min of {w['repeats']})"
+        f"(min of {w['repeats']}; lanes: {','.join(w['lanes'])})"
     )
+    extra_hdr = f" {extra + '_s':>10}" if extra is not None else ""
     print(
-        f"{'circuit':>8} {'nets':>6} {'groups':>6} {'scalar':>10} "
-        f"{'optape':>10} {'speedup':>8} {'match':>6}"
+        f"{'circuit':>8} {'nets':>6} {'scalar':>10} {'optape':>10} "
+        f"{'fused':>10}{extra_hdr} {'speedup':>8} {'fused_x':>8} {'match':>6}"
     )
     for r in report["circuits"]:
+        extra_col = (
+            f" {r[f'{extra}_s'] * 1e3:>8.1f}ms" if extra is not None else ""
+        )
         print(
-            f"{r['circuit']:>8} {r['n_nets']:>6} {r['n_groups']:>6} "
+            f"{r['circuit']:>8} {r['n_nets']:>6} "
             f"{r['scalar_s'] * 1e3:>8.1f}ms {r['optape_s'] * 1e3:>8.1f}ms "
-            f"{r['speedup']:>7.1f}x {'ok' if r['match'] else 'FAIL':>6}"
+            f"{r['fused_s'] * 1e3:>8.1f}ms{extra_col} "
+            f"{r['speedup']:>7.1f}x {r['fused_speedup']:>7.1f}x "
+            f"{'ok' if r['match'] else 'FAIL':>6}"
         )
     agg = report["aggregate"]
     print(
-        f"{'total':>8} {'':>6} {'':>6} {agg['scalar_s'] * 1e3:>8.1f}ms "
-        f"{agg['optape_s'] * 1e3:>8.1f}ms {agg['speedup']:>7.1f}x "
+        f"{'total':>8} {'':>6} {agg['scalar_s'] * 1e3:>8.1f}ms "
+        f"{agg['optape_s'] * 1e3:>8.1f}ms {agg['fused_s'] * 1e3:>8.1f}ms "
+        f"{'' if extra is None else '           '}"
+        f"{agg['speedup']:>7.1f}x {agg['fused_speedup']:>7.1f}x "
         f"{'ok' if agg['all_match'] else 'FAIL':>6}"
     )
+    sat = report["satattack"]
+    print(
+        f"satattack: conflicts {sat['legacy']['conflicts']} -> "
+        f"{sat['incremental']['conflicts']} "
+        f"(ratio {sat['conflict_ratio']}), solves "
+        f"{sat['legacy']['n_solves']} -> {sat['incremental']['n_solves']}, "
+        f"dips/solve {sat['dips_per_solve']}, "
+        f"{'ok' if sat['match'] else 'FAIL'}"
+    )
+    if profile_dir is not None:
+        print(f"profiles in {profile_dir}/")
     Path(out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
     if not agg["all_match"]:
-        print("ERROR: op-tape engine disagrees with the scalar oracle")
+        print("ERROR: an execution lane disagrees with the scalar oracle")
         return 1
     return 0

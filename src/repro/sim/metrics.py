@@ -8,6 +8,7 @@ keys.  50% is optimal [3]; Table I reports per-circuit HD for OraP + WLL.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -27,15 +28,45 @@ from .patterns import random_words
 
 #: result-cache salt for HD measurements — bump whenever the sampling or
 #: reduction semantics of :func:`measure_corruption` change, so stale
-#: entries written by the old engine auto-invalidate
-CACHE_VERSION = 1
+#: entries written by the old engine auto-invalidate.  v2: cache keys
+#: grew a resolved-backend field (backend choice must never alias
+#: entries) and the batched reduction folds the golden lane into the
+#: first chunk.
+CACHE_VERSION = 2
 
-#: cap on the batched value matrix (``n_nets * lanes * n_words * 8``
-#: bytes); wider workloads evaluate their wrong keys in lane chunks.
-#: 32 MiB keeps the working set L3-resident: measured on the Table I
-#: workload, a 1 GiB budget (no chunking) drops from ~12x to 2-4x over
-#: the scalar loop once the matrix spills to DRAM.
+#: default cap on the batched value matrix (``n_nets * lanes * n_words
+#: * 8`` bytes); wider workloads evaluate their wrong keys in lane
+#: chunks.  32 MiB keeps the working set L3-resident: measured on the
+#: Table I workload, a 1 GiB budget (no chunking) drops from ~12x to
+#: 2-4x over the scalar loop once the matrix spills to DRAM.  Override
+#: per call (``max_matrix_bytes=``), per policy
+#: (:class:`repro.experiments.runner.RunPolicy`), or per process
+#: (``REPRO_MAX_MATRIX_BYTES``) on machines with different caches.
 DEFAULT_MAX_MATRIX_BYTES = 32 << 20
+
+#: environment override for the chunking cap (bytes)
+MAX_MATRIX_BYTES_ENV = "REPRO_MAX_MATRIX_BYTES"
+
+#: execution-lane names accepted by ``measure_corruption(backend=...)``
+#: in addition to the strategy names (see :mod:`repro.sim.backends`)
+_LANE_BACKENDS = ("numpy", "fused", "numba", "cupy")
+
+
+def resolve_max_matrix_bytes(value: int | None = None) -> int:
+    """Resolve the chunking cap: explicit value, else the
+    ``REPRO_MAX_MATRIX_BYTES`` environment override, else the default."""
+    if value is not None:
+        return max(1, int(value))
+    raw = os.environ.get(MAX_MATRIX_BYTES_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(
+                f"{MAX_MATRIX_BYTES_ENV} must be an integer byte count, "
+                f"got {raw!r}"
+            ) from None
+    return DEFAULT_MAX_MATRIX_BYTES
 
 
 @dataclass(frozen=True)
@@ -98,7 +129,7 @@ def measure_corruption(
     n_keys: int = 16,
     seed: int = 0,
     backend: str = "auto",
-    max_matrix_bytes: int = DEFAULT_MAX_MATRIX_BYTES,
+    max_matrix_bytes: int | None = None,
 ) -> CorruptionReport:
     """Measure HD of a locked netlist under random wrong keys.
 
@@ -106,47 +137,45 @@ def measure_corruption(
     and once per sampled wrong key; differences over all outputs are the HD.
 
     Args:
-        backend: ``"auto"`` (default) lets the library choose — currently
-            always the batched engine; ``"batched"`` forces the multi-key
-            lane evaluation on the compiled op-tape engine; ``"scalar"``
-            is the original one-simulation-per-key loop, kept as the
-            cross-check oracle.  The legacy name ``"optape"`` still
-            selects the batched engine but emits a
-            :class:`DeprecationWarning`.  All backends sample identical
-            keys and return identical reports.
+        backend: ``"auto"`` (default) lets the library choose — the
+            batched multi-key-lane reduction on whatever execution lane
+            :mod:`repro.sim.backends` resolves ``"auto"`` to (currently
+            the fused CPU lane).  ``"batched"`` is a synonym;
+            ``"scalar"`` is the original one-simulation-per-key
+            :class:`BitSimulator` loop, kept as the cross-check oracle.
+            An explicit lane name (``"numpy"``, ``"fused"``,
+            ``"numba"``, ``"cupy"``) forces the batched reduction onto
+            that lane — unavailable lanes raise
+            :class:`~repro.sim.backends.BackendUnavailable`.  The
+            legacy name ``"optape"`` still selects the batched engine
+            but emits a :class:`DeprecationWarning`.  All backends
+            sample identical keys and return identical reports.
         max_matrix_bytes: cap on the batched backend's value matrix
-            (``n_nets * lanes * n_words * 8`` bytes); wrong keys are
-            evaluated in lane chunks that fit under it.  The 32 MiB
-            default (:data:`DEFAULT_MAX_MATRIX_BYTES`) keeps the working
-            set L3-resident — see the module docstring before raising it.
+            (``n_nets * lanes * n_words * 8`` bytes); key lanes are
+            evaluated in balanced chunks that fit under it.  ``None``
+            (default) resolves through
+            :func:`resolve_max_matrix_bytes` — the
+            ``REPRO_MAX_MATRIX_BYTES`` environment override, else the
+            32 MiB :data:`DEFAULT_MAX_MATRIX_BYTES` that keeps the
+            working set L3-resident.
 
     When the process-global result cache (:mod:`repro.cache`) is
     configured, measurements are served from and inserted into it.  The
     cache key covers the netlist *content* hash, the key-input order,
-    the correct key bits, ``n_patterns``/``n_keys``/``seed`` and this
-    module's :data:`CACHE_VERSION` — but deliberately **not** the
-    backend: the batched and scalar backends are bit-identical by
-    construction (the equivalence suite enforces it), so they share
-    entries.
+    the correct key bits, ``n_patterns``/``n_keys``/``seed``, this
+    module's :data:`CACHE_VERSION`, **and the resolved backend** —
+    every lane is bit-identical by construction (the differential suite
+    enforces it), but salting the lane means a miscompiled accelerator
+    can never poison entries that other lanes would then serve.
     """
     key_set = set(key_inputs)
     data_inputs = [i for i in locked.inputs if i not in key_set]
     if not data_inputs:
         raise ValueError("no non-key inputs to drive")
-    if backend == "optape":
-        warnings.warn(
-            'measure_corruption(backend="optape") is deprecated; '
-            'use backend="batched" (or leave the default "auto")',
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        backend = "batched"
-    if backend not in ("auto", "batched", "scalar"):
-        raise ValueError(f"unknown backend {backend!r}")
-    if backend == "auto":
-        backend = "batched"
+    strategy, lane = _resolve_corruption_backend(backend)
     store, ck = _corruption_cache_key(
-        locked, key_inputs, correct_key, n_patterns, n_keys, seed
+        locked, key_inputs, correct_key, n_patterns, n_keys, seed,
+        strategy if strategy == "scalar" else lane,
     )
     if store is not None and ck is not None:
         payload = store.get(ck)
@@ -156,7 +185,7 @@ def measure_corruption(
     data_words = random_words(len(data_inputs), n_patterns, seed=seed)
     wrong_vecs = sample_wrong_keys(key_inputs, correct_key, n_keys, seed=seed)
     correct_vec = tuple(int(bool(correct_key[k])) for k in key_inputs)
-    if backend == "scalar":
+    if strategy == "scalar":
         per_key, frac = _corruption_scalar(
             locked, key_inputs, correct_vec, wrong_vecs, data_inputs,
             data_words, n_patterns,
@@ -164,7 +193,8 @@ def measure_corruption(
     else:
         per_key, frac = _corruption_batched(
             locked, key_inputs, correct_vec, wrong_vecs, data_inputs,
-            data_words, n_patterns, max_matrix_bytes,
+            data_words, n_patterns, resolve_max_matrix_bytes(max_matrix_bytes),
+            lane,
         )
     report = CorruptionReport(
         hd_percent=float(np.mean(per_key)) if per_key else 0.0,
@@ -178,6 +208,37 @@ def measure_corruption(
     return report
 
 
+def _resolve_corruption_backend(backend: str) -> tuple[str, str]:
+    """Map a ``backend`` argument to ``(strategy, lane)``.
+
+    ``strategy`` is ``"scalar"`` or ``"batched"``; ``lane`` is the
+    *resolved* execution-lane name for the batched strategy (``"auto"``
+    is resolved here so cache keys carry a concrete lane).
+    """
+    if backend == "optape":
+        warnings.warn(
+            'measure_corruption(backend="optape") is deprecated; '
+            'use backend="batched" (or leave the default "auto")',
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        backend = "batched"
+    if backend == "scalar":
+        return "scalar", "scalar"
+    if backend in ("auto", "batched"):
+        lane_name = "auto"
+    elif backend in _LANE_BACKENDS:
+        lane_name = backend
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'auto', 'batched', "
+            f"'scalar' or an execution lane {_LANE_BACKENDS}"
+        )
+    from .backends import resolve_backend
+
+    return "batched", resolve_backend(lane_name).name
+
+
 def _corruption_cache_key(
     locked: Netlist,
     key_inputs: Sequence[str],
@@ -185,6 +246,7 @@ def _corruption_cache_key(
     n_patterns: int,
     n_keys: int,
     seed: int,
+    resolved_backend: str,
 ):
     """(store, key) for one HD measurement — (None, None) when caching
     is disabled or the inputs have no stable content address."""
@@ -203,6 +265,7 @@ def _corruption_cache_key(
             n_patterns=int(n_patterns),
             n_keys=int(n_keys),
             seed=int(seed),
+            backend=str(resolved_backend),
         )
     except (result_cache.Uncacheable, KeyError):
         return None, None
@@ -246,23 +309,39 @@ def _corruption_batched(
     data_words: np.ndarray,
     n_patterns: int,
     max_matrix_bytes: int,
+    lane: str = "auto",
 ) -> tuple[list[float], float]:
-    """Multi-key-lane HD reduction on the compiled op-tape engine."""
+    """Multi-key-lane HD reduction on the compiled op-tape engine.
+
+    The golden (correct-key) lane rides as lane 0 of the first chunk —
+    one engine pass fewer per measurement — and lanes are split into
+    *balanced* chunks under the byte cap: the per-pass Python dispatch
+    floor makes two 33-lane passes cheaper than a 51- plus a 14-lane
+    one.
+    """
     engine = compile_engine(locked)
     nw = data_words.shape[1]
-    golden = engine.run_keyed(
-        data_inputs, data_words, key_inputs,
-        np.array([correct_vec], dtype=np.uint8),
-    )[0]  # (n_outputs, n_words)
-    n_out = golden.shape[0]
+    all_vecs = np.array([correct_vec, *wrong_vecs], dtype=np.uint8)
+    total = all_vecs.shape[0]
     lane_cap = max(1, max_matrix_bytes // max(1, engine.n_nets * nw * 8))
+    n_chunks = -(-total // lane_cap)
+    bounds = np.linspace(0, total, n_chunks + 1).astype(int)
     mask = tail_mask(n_patterns)
     per_key: list[float] = []
     corrupted_patterns = np.zeros(nw, dtype=np.uint64)
-    for start in range(0, len(wrong_vecs), lane_cap):
-        chunk = np.array(wrong_vecs[start : start + lane_cap], dtype=np.uint8)
-        outs = engine.run_keyed(data_inputs, data_words, key_inputs, chunk)
-        diff = outs ^ golden[None, :, :]  # (chunk, n_outputs, n_words)
+    golden: np.ndarray | None = None
+    n_out = len(locked.outputs)
+    for ci in range(n_chunks):
+        chunk = all_vecs[bounds[ci] : bounds[ci + 1]]
+        outs = engine.run_keyed(
+            data_inputs, data_words, key_inputs, chunk, backend=lane
+        )
+        if ci == 0:
+            golden = outs[0]  # (n_outputs, n_words)
+            outs = outs[1:]
+            if not outs.shape[0]:  # golden-only chunk (tiny byte caps)
+                continue
+        diff = outs ^ golden[None, :, :]  # (chunk_keys, n_outputs, n_words)
         # the final word of EVERY key lane carries padding bits beyond
         # n_patterns — mask each lane, not just the last one
         diff[:, :, -1] &= mask

@@ -272,9 +272,20 @@ class OpTapeEngine:
         self,
         input_words: Mapping[str, np.ndarray] | np.ndarray,
         forced: Mapping[str, np.ndarray] | None = None,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Like :meth:`run` but returns only ``(n_outputs, n_cols)`` in
-        ``netlist.outputs`` order."""
+        ``netlist.outputs`` order.
+
+        ``backend`` selects the execution lane (see
+        :mod:`repro.sim.backends`); ``"auto"`` resolves to the fastest
+        available lane, ``"numpy"`` forces the grouped reference
+        evaluator.  Every lane is bit-identical.
+        """
+        if backend != "numpy":
+            from .backends import resolve_backend
+
+            return resolve_backend(backend).run_outputs(self, input_words, forced)
         return self.outputs_from_matrix(self.run(input_words, forced))
 
     def run_keyed(
@@ -283,6 +294,7 @@ class OpTapeEngine:
         data_words: np.ndarray,
         key_inputs: Sequence[str],
         key_bits: np.ndarray,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Evaluate the same pattern block under many keys in one pass.
 
@@ -299,6 +311,11 @@ class OpTapeEngine:
             key_inputs: key primary inputs, matching the columns of
                 ``key_bits``.
             key_bits: ``(n_keys, len(key_inputs))`` 0/1 array.
+
+        Args (continued):
+            backend: execution lane (see :mod:`repro.sim.backends`);
+                ``"auto"`` resolves to the fastest available lane,
+                ``"numpy"`` forces the grouped reference evaluator.
 
         Returns:
             ``(n_keys, n_outputs, n_words)`` packed outputs, lane-major.
@@ -318,6 +335,12 @@ class OpTapeEngine:
         missing = [i for i in self.netlist.inputs if i not in driven]
         if missing:
             raise ValueError(f"missing patterns for inputs {missing!r}")
+        if backend != "numpy":
+            from .backends import resolve_backend
+
+            return resolve_backend(backend).run_keyed(
+                self, data_inputs, data_words, key_inputs, key_bits
+            )
         n_keys = key_bits.shape[0]
         nw = data_words.shape[1]
         values = self._alloc(n_keys * nw)
@@ -418,7 +441,15 @@ def netlist_fingerprint(netlist: Netlist) -> str:
     insertion order) share a fingerprint — and therefore a compiled
     engine.  The circuit name is deliberately excluded: it never affects
     simulation semantics.
+
+    The digest is memoized on the netlist (hashing a large circuit costs
+    milliseconds and the bench/metrics hot paths fingerprint on every
+    call); any structural mutation clears the memo via
+    :meth:`Netlist._invalidate`.
     """
+    memo = getattr(netlist, "_fingerprint", None)
+    if memo is not None:
+        return memo
     h = hashlib.blake2b(digest_size=16)
     h.update(b"cyc1|" if netlist.allow_cycles else b"cyc0|")
     for name in netlist.inputs:
@@ -430,7 +461,12 @@ def netlist_fingerprint(netlist: Netlist) -> str:
         h.update(b"g|" + name.encode() + b"|" + g.gtype.value.encode())
         for f in g.fanin:
             h.update(b"," + f.encode())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    try:
+        netlist._fingerprint = digest
+    except AttributeError:  # pragma: no cover - exotic netlist stand-ins
+        pass
+    return digest
 
 
 #: engines are a few int64 arrays the size of the netlist; keep a modest

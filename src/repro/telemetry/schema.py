@@ -57,6 +57,11 @@ KNOWN_COUNTERS = frozenset(
         "optape.cache.hit",
         "optape.cache.miss",
         "optape.words",
+        # fused-backend plan cache (repro.sim.backends.fused) and
+        # supervised-pool compile-cache pre-warm (experiments.runner)
+        "optape.plan.build",
+        "optape.plan.hit",
+        "optape.compile.shared",
         "experiment.rows",
         "cache.hit",
         "cache.miss",
