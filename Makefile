@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry bench-supervisor bench-gate trace-smoke cache-smoke chaos-smoke experiments examples clean
+.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry bench-supervisor bench-service bench-gate trace-smoke cache-smoke chaos-smoke serve-smoke experiments examples clean
 
 install:
 	pip install -e .
@@ -116,6 +116,28 @@ chaos-smoke:
 # (gated <3% by scripts/bench_compare.py)
 bench-supervisor:
 	PYTHONPATH=src $(PY) -m repro chaos bench
+
+# job-service overhead vs direct run_rows (interleaved rounds, fixed
+# seed; see src/repro/service/bench.py); refreshes BENCH_service.json
+bench-service:
+	PYTHONPATH=src $(PY) -m repro.service.bench --out BENCH_service.json
+
+# job-service end-to-end smoke (scripts/serve_smoke.py): boot a real
+# daemon, submit a small table1 campaign twice — the second submit must
+# be a cache-admission hit (born done via content-key dedup, nonzero
+# cache.hit in the trace) — then SIGTERM-drain a job mid-run and prove
+# a restarted daemon resumes it to a result byte-identical to a direct
+# in-process run; every journal line must validate against the v1 event
+# schema.  A fresh BENCH_service.json is then generated and gated
+# against its embedded <3% service-overhead bound.
+serve-smoke:
+	rm -rf .repro-serve-smoke
+	PYTHONPATH=src $(PY) scripts/serve_smoke.py --state-dir .repro-serve-smoke
+	rm -rf .bench-fresh-service && mkdir -p .bench-fresh-service
+	PYTHONPATH=src $(PY) -m repro.service.bench \
+		--out .bench-fresh-service/BENCH_service.json
+	PYTHONPATH=src $(PY) scripts/bench_compare.py \
+		--fresh-dir .bench-fresh-service --only service
 
 # end-to-end trace fan-in: a tiny 4-way parallel campaign streamed to
 # one JSONL file, then every record schema-validated (an unknown span

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""End-to-end smoke for the ``repro serve`` job service (CI: serve-smoke).
+
+Boots a real daemon and checks the acceptance bar of the service layer:
+
+1. **happy path** — a small Table-I campaign submitted over the socket
+   runs to ``done`` with row-level progress (``rows_done == rows_total``)
+   and a rendered result table;
+2. **cache admission** — resubmitting the identical spec is answered
+   from the result store *without scheduling*: the job is born ``done``,
+   carries ``deduped_from``, returns byte-identical text, and the trace
+   records a nonzero ``cache.hit`` total;
+3. **drain + restart resume** — SIGTERM mid-job exits 0 after
+   checkpointing partial rows; a second daemon generation re-admits the
+   job from the state directory and finishes it, and the result is
+   byte-identical to a direct in-process :func:`execute_job` run;
+4. **journal** — every line of ``journal.jsonl`` written across both
+   daemon generations validates against the closed v1 event schema.
+
+The service-overhead gate (<3% vs direct ``run_rows``) is a separate
+step of ``make serve-smoke``: ``python -m repro.service.bench`` writes a
+fresh ``BENCH_service.json`` and ``scripts/bench_compare.py --only
+service`` enforces its embedded acceptance bound.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--state-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.runner import RunPolicy  # noqa: E402
+from repro.service.api import JobSpec, validate_journal  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.jobs import execute_job  # noqa: E402
+from repro.telemetry import summarize_trace  # noqa: E402
+
+TABLE1_PARAMS = {
+    "scale": 0.004,
+    "circuits": ["s38417", "b20"],
+    "n_patterns": 256,
+}
+SLEEP_PARAMS = {"rows": 8, "seconds": 0.4}
+
+
+def _check(ok: bool, what: str) -> None:
+    verdict = "ok" if ok else "FAIL"
+    print(f"  {what}: {verdict}")
+    if not ok:
+        raise SystemExit(f"serve-smoke failed: {what}")
+
+
+def _boot(state_dir: Path, trace: Path) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--state-dir",
+            str(state_dir),
+            "--trace",
+            str(trace),
+        ],
+    )
+    ServiceClient(state_dir / "serve.sock").wait_ready(timeout_s=60.0)
+    return proc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--state-dir",
+        type=Path,
+        default=Path(".repro-serve-smoke"),
+        help="service state directory (wiped at start)",
+    )
+    args = parser.parse_args(argv)
+
+    state: Path = args.state_dir
+    if state.exists():
+        shutil.rmtree(state)
+    trace = state / "trace.jsonl"
+    client = ServiceClient(state / "serve.sock")
+
+    print("serve-smoke: boot + happy path")
+    daemon = _boot(state, trace)
+    try:
+        first = client.submit("table1", TABLE1_PARAMS)
+        status = client.wait(first.job_id, timeout_s=300.0)
+        _check(status.state == "done", "first submit runs to done")
+        _check(
+            status.rows_done == status.rows_total == 2,
+            f"row-level progress {status.rows_done}/{status.rows_total}",
+        )
+        first_result = client.result(first.job_id)
+        _check(
+            bool(first_result.text) and len(first_result.rows) == 2,
+            "result carries rows + rendered table",
+        )
+
+        print("serve-smoke: cache admission (identical resubmit)")
+        second = client.submit("table1", TABLE1_PARAMS)
+        _check(
+            second.state == "done" and second.deduped_from == first.job_id,
+            "identical submit is born done via dedup",
+        )
+        second_result = client.result(second.job_id)
+        _check(
+            second_result.text == first_result.text
+            and second_result.rows == first_result.rows,
+            "deduped result is byte-identical",
+        )
+
+        print("serve-smoke: drain mid-job")
+        slow = client.submit("sleep", SLEEP_PARAMS)
+        deadline = time.monotonic() + 60.0
+        while True:
+            progress = client.status(slow.job_id)
+            if progress.state == "running" and progress.rows_done >= 2:
+                break
+            if time.monotonic() > deadline:
+                raise SystemExit("serve-smoke: sleep job never progressed")
+            time.sleep(0.05)
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=60)
+        _check(code == 0, f"daemon drained cleanly (exit {code})")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+    print("serve-smoke: restart resumes the drained job")
+    daemon = _boot(state, trace)
+    try:
+        resumed = client.wait(slow.job_id, timeout_s=300.0)
+        _check(
+            resumed.state == "done"
+            and resumed.rows_done == resumed.rows_total == 8,
+            "drained job resumed to completion",
+        )
+        resumed_result = client.result(slow.job_id)
+        with tempfile.TemporaryDirectory() as ckpt:
+            direct = execute_job(
+                JobSpec(campaign="sleep", params=dict(SLEEP_PARAMS)),
+                RunPolicy(checkpoint_dir=ckpt),
+            )
+        _check(
+            resumed_result.text == direct.text
+            and resumed_result.rows == direct.rows,
+            "resumed result byte-identical to a direct run",
+        )
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        daemon.wait(timeout=60)
+
+    print("serve-smoke: journal + trace")
+    errors = list(validate_journal(state / "journal.jsonl"))
+    _check(not errors, f"journal schema-valid ({errors[:3] or 'clean'})")
+    hits = summarize_trace(trace).counters.get("cache.hit", 0)
+    _check(hits > 0, f"nonzero cache.hit total from dedup admission ({hits})")
+
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

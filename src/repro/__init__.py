@@ -39,7 +39,51 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-__all__ = [
+#: API stability: v1.  Everything in this table is the *frozen* public
+#: surface — importable directly from ``repro`` — and follows the
+#: deprecation policy in docs/ATTACK_API.md: a spelling is never removed
+#: without a full release of :class:`DeprecationWarning` first (the
+#: pre-v1 ``max_flips``/``max_rounds``/``backend="optape"`` spellings
+#: completed that cycle and are gone).  Names are resolved lazily (PEP
+#: 562) so ``import repro`` stays cheap for programs that only need one
+#: subsystem.
+_V1_EXPORTS: dict[str, str] = {
+    # unified attack API (docs/ATTACK_API.md)
+    "run_attack": "repro.attacks.api",
+    "get_attack": "repro.attacks.api",
+    "list_attacks": "repro.attacks.api",
+    "AttackSpec": "repro.attacks.api",
+    "AttackConfig": "repro.attacks",
+    "AttackResult": "repro.attacks",
+    "Oracle": "repro.attacks",
+    # simulation + corruption metrics
+    "measure_corruption": "repro.sim",
+    "CorruptionReport": "repro.sim",
+    "BitSimulator": "repro.sim",
+    # resource governance
+    "Budget": "repro.runtime",
+    "CampaignInterrupted": "repro.runtime",
+    "run_guarded": "repro.runtime",
+    # campaign harnesses + execution policy
+    "RunPolicy": "repro.experiments",
+    "run_table1": "repro.experiments",
+    "run_table2": "repro.experiments",
+    "run_attack_matrix": "repro.experiments",
+    "print_table1": "repro.experiments",
+    "print_table2": "repro.experiments",
+    "print_attack_matrix": "repro.experiments",
+    # campaign job service (docs/SERVICE.md)
+    "JobSpec": "repro.service",
+    "JobStatus": "repro.service",
+    "execute_job": "repro.service",
+    "job_content_key": "repro.service",
+    "ServeConfig": "repro.service",
+    "serve": "repro.service",
+    "ServiceClient": "repro.service",
+    "ServiceError": "repro.service",
+}
+
+_SUBPACKAGES = [
     "netlist",
     "sim",
     "sat",
@@ -52,4 +96,26 @@ __all__ = [
     "bench",
     "experiments",
     "runtime",
+    "cache",
+    "telemetry",
+    "service",
+    "lint",
 ]
+
+__all__ = [*_SUBPACKAGES, *sorted(_V1_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """Lazy v1 re-exports (PEP 562)."""
+    target = _V1_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value  # cache: resolve each name once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -11,126 +11,146 @@ Usage::
     python -m repro bench [--smoke]
     python -m repro trace report out.jsonl
     python -m repro cache stats
+    python -m repro serve --state-dir .repro-serve
+    python -m repro job submit table1 --param scale=0.004
     python -m repro all
 
-Campaign subcommands accept ``--trace out.jsonl`` to stream telemetry
-spans/counters (merged across ``--jobs`` worker processes) into a JSONL
-trace, inspected with ``repro trace report`` / ``repro trace validate``,
-and ``--cache`` to serve unchanged rows from the content-addressed
+Every campaign subcommand (and ``repro serve``) carries one identical
+runtime flag set via :func:`add_runtime_flags` — ``--jobs``, ``--trace``,
+``--cache``/``--no-cache``/``--cache-dir``, ``--sim-backend`` and
+``--max-matrix-bytes`` mean the same thing everywhere.  ``--trace``
+streams telemetry spans/counters (merged across worker processes) into a
+JSONL trace, inspected with ``repro trace report`` / ``repro trace
+validate``; ``--cache`` serves unchanged rows from the content-addressed
 result cache (``repro cache stats|clear|verify``; see docs/CACHING.md).
+
+``table1``/``table2``/``attacks`` are thin clients of the same internal
+:class:`~repro.service.api.JobSpec` path the ``repro serve`` daemon
+executes — one registry, one parameter schema, one execution function
+(docs/SERVICE.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Command-line entry point."""
+def add_runtime_flags(p, policy: bool = True) -> None:
+    """Attach the unified runtime flag set to one subparser.
+
+    Every campaign parser (and ``repro serve``) goes through here, so
+    ``--jobs/--trace/--cache*/--sim-backend/--max-matrix-bytes`` are
+    spelled and documented identically across the CLI.  ``policy=True``
+    additionally attaches the checkpoint/retry knobs that only
+    row-runner campaigns honour.
+    """
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for campaign rows (1 = sequential; "
+        "campaigns without row parallelism accept and ignore it)",
+    )
+    p.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE.jsonl",
+        help="append telemetry spans/counters to this JSONL trace "
+        "(merged across --jobs workers)",
+    )
+    p.add_argument(
+        "--sim-backend",
+        type=str,
+        default="auto",
+        metavar="LANE",
+        help="bit-parallel simulation backend (auto, fused, numpy, "
+        "numba, cupy; default auto — also settable via the "
+        "REPRO_SIM_BACKEND environment variable)",
+    )
+    p.add_argument(
+        "--max-matrix-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="cap on the transient simulation value matrix per chunk "
+        "(default: REPRO_MAX_MATRIX_BYTES env or 32 MiB)",
+    )
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="serve unchanged rows from the content-addressed result "
+        "cache and insert fresh ones (--no-cache disables; "
+        "see `repro cache stats`)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="result-cache root (default .repro-cache; implies --cache)",
+    )
+    if not policy:
+        return
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse checkpointed rows with matching parameters",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="checkpoint root (default .repro-checkpoints; "
+        "implied by --resume)",
+    )
+    p.add_argument(
+        "--row-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per row (expired rows are recorded "
+        "as timeout)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for rows that end in error",
+    )
+    p.add_argument(
+        "--worker-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-level retries before a row that crashes/hangs "
+        "its worker is quarantined (supervised --jobs runs)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full ``repro`` argument parser (import-light)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OraP (DATE 2020) reproduction — experiment runner",
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
-    def add_cache_flags(p) -> None:
-        p.add_argument(
-            "--cache",
-            action=argparse.BooleanOptionalAction,
-            default=None,
-            help="serve unchanged rows from the content-addressed result "
-            "cache and insert fresh ones (--no-cache disables; "
-            "see `repro cache stats`)",
-        )
-        p.add_argument(
-            "--cache-dir",
-            type=str,
-            default=None,
-            metavar="DIR",
-            help="result-cache root (default .repro-cache; implies --cache)",
-        )
-
-    def add_policy_flags(p) -> None:
-        p.add_argument(
-            "--resume",
-            action="store_true",
-            help="reuse checkpointed rows with matching parameters",
-        )
-        p.add_argument(
-            "--checkpoint-dir",
-            type=str,
-            default=None,
-            help="checkpoint root (default .repro-checkpoints; "
-            "implied by --resume)",
-        )
-        p.add_argument(
-            "--row-deadline",
-            type=float,
-            default=None,
-            metavar="SECONDS",
-            help="wall-clock budget per row (expired rows are recorded "
-            "as timeout)",
-        )
-        p.add_argument(
-            "--retries",
-            type=int,
-            default=0,
-            help="extra attempts for rows that end in error",
-        )
-        p.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            metavar="N",
-            help="worker processes for campaign rows (1 = sequential)",
-        )
-        p.add_argument(
-            "--worker-retries",
-            type=int,
-            default=1,
-            metavar="N",
-            help="process-level retries before a row that crashes/hangs "
-            "its worker is quarantined (supervised --jobs runs)",
-        )
-        p.add_argument(
-            "--trace",
-            type=str,
-            default=None,
-            metavar="FILE.jsonl",
-            help="append telemetry spans/counters to this JSONL trace "
-            "(merged across --jobs workers)",
-        )
-        p.add_argument(
-            "--sim-backend",
-            type=str,
-            default="auto",
-            metavar="LANE",
-            help="bit-parallel simulation backend for campaign rows "
-            "(auto, fused, numpy, numba, cupy, scalar-free lanes only; "
-            "default auto)",
-        )
-        p.add_argument(
-            "--max-matrix-bytes",
-            type=int,
-            default=None,
-            metavar="BYTES",
-            help="cap on the transient simulation value matrix per chunk "
-            "(default: REPRO_MAX_MATRIX_BYTES env or 32 MiB)",
-        )
-        add_cache_flags(p)
-
     p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
     p1.add_argument("--scale", type=float, default=None)
     p1.add_argument("--circuits", type=str, default=None)
     p1.add_argument("--patterns", type=int, default=4096)
-    add_policy_flags(p1)
+    add_runtime_flags(p1)
 
     p2 = sub.add_parser("table2", help="Table II: stuck-at testability")
     p2.add_argument("--scale", type=float, default=None)
     p2.add_argument("--circuits", type=str, default=None)
     p2.add_argument("--patterns", type=int, default=1024)
-    add_policy_flags(p2)
+    add_runtime_flags(p2)
 
     pa = sub.add_parser("attacks", help="Sect. II-A attack matrix")
     pa.add_argument("--variant", choices=["basic", "modified"], default="basic")
@@ -142,23 +162,99 @@ def main(argv: list[str] | None = None) -> int:
         help="wall-clock budget per attack (expired attacks show as "
         "timeout rows)",
     )
-    add_policy_flags(pa)
+    add_runtime_flags(pa)
 
-    add_cache_flags(sub.add_parser("trojans", help="Sect. III Trojan payload table"))
-    add_cache_flags(sub.add_parser("protocol", help="Figs. 1-3 protocol checks"))
-    add_cache_flags(sub.add_parser("ablations", help="design-knob sweeps"))
-    add_cache_flags(
-        sub.add_parser("arms-race", help="Sect. I attack history, replayed")
-    )
+    for name, help_text in (
+        ("trojans", "Sect. III Trojan payload table"),
+        ("protocol", "Figs. 1-3 protocol checks"),
+        ("ablations", "design-knob sweeps"),
+        ("arms-race", "Sect. I attack history, replayed"),
+        ("all", "every experiment, default parameters"),
+    ):
+        add_runtime_flags(sub.add_parser(name, help=help_text), policy=False)
     ps = sub.add_parser("scaling", help="substitution scale-stability study")
     ps.add_argument("--circuit", default="b20")
-    add_cache_flags(ps)
+    add_runtime_flags(ps, policy=False)
     ph = sub.add_parser("hd-sweep", help="HD saturation curve (Table I rule)")
     ph.add_argument("--circuit", default="b20")
-    add_cache_flags(ph)
-    add_cache_flags(
-        sub.add_parser("all", help="every experiment, default parameters")
+    add_runtime_flags(ph, policy=False)
+
+    psv = sub.add_parser(
+        "serve",
+        help="campaign job service daemon: async submit/status/result "
+        "over a Unix socket (docs/SERVICE.md)",
     )
+    psv.add_argument(
+        "--state-dir",
+        type=str,
+        default=".repro-serve",
+        metavar="DIR",
+        help="service state root: journal, job records, results, "
+        "checkpoints (default .repro-serve)",
+    )
+    psv.add_argument(
+        "--socket",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="Unix socket path (default <state-dir>/serve.sock)",
+    )
+    psv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent jobs (each may additionally fan out --jobs "
+        "row workers)",
+    )
+    psv.add_argument(
+        "--tenant-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock compute budget per tenant (persisted across "
+        "restarts; exhausted tenants' submits are refused)",
+    )
+    add_runtime_flags(psv, policy=False)
+
+    pj = sub.add_parser(
+        "job",
+        help="client for a running `repro serve` daemon",
+    )
+    pj.add_argument(
+        "action",
+        choices=["submit", "status", "result", "cancel", "list"],
+        help="submit <campaign> | status/result/cancel <job-id> | list",
+    )
+    pj.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="campaign name (submit) or job id (status/result/cancel)",
+    )
+    pj.add_argument(
+        "--socket",
+        type=str,
+        default=".repro-serve/serve.sock",
+        metavar="PATH",
+        help="daemon socket (default .repro-serve/serve.sock)",
+    )
+    pj.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="campaign parameter, JSON-typed value (repeatable), "
+        "e.g. --param scale=0.004 --param 'circuits=[\"b20\"]'",
+    )
+    pj.add_argument("--tenant", type=str, default="default")
+    pj.add_argument(
+        "--wait",
+        action="store_true",
+        help="(submit) block until the job is terminal, then print its "
+        "result table",
+    )
+    pj.add_argument("--format", choices=["text", "json"], default="text")
 
     pb = sub.add_parser(
         "bench",
@@ -307,7 +403,12 @@ def main(argv: list[str] | None = None) -> int:
         help="bench output JSON path",
     )
 
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    args = build_parser().parse_args(argv)
 
     if args.cmd == "chaos":
         from .experiments.chaos import (
@@ -368,6 +469,19 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_trace_cli(args.action, args.path, top=args.top)
 
+    if args.cmd == "job":
+        from .service.cli import run_job_cli
+
+        return run_job_cli(
+            action=args.action,
+            target=args.target,
+            socket_path=args.socket,
+            params=args.param,
+            tenant=args.tenant,
+            wait=args.wait,
+            fmt=args.format,
+        )
+
     if args.cmd == "lint":
         from .lint.cli import run_lint
 
@@ -402,15 +516,51 @@ def main(argv: list[str] | None = None) -> int:
 
         _cache.configure(resolved_cache_dir)
 
+    # the unified runtime flags must bite on every campaign, including
+    # harnesses that never thread a RunPolicy: --sim-backend and
+    # --max-matrix-bytes travel via their environment hooks (inherited
+    # by forked workers), --trace configures telemetry process-globally
+    sim_backend = getattr(args, "sim_backend", "auto")
+    if sim_backend != "auto":
+        os.environ["REPRO_SIM_BACKEND"] = sim_backend
+    max_matrix_bytes = getattr(args, "max_matrix_bytes", None)
+    if max_matrix_bytes is not None:
+        os.environ["REPRO_MAX_MATRIX_BYTES"] = str(max_matrix_bytes)
+    trace = getattr(args, "trace", None)
+    if trace is not None and args.cmd != "serve":
+        from . import telemetry
+
+        telemetry.configure(path=trace)
+
+    if args.cmd == "serve":
+        from .service import ServeConfig, serve
+
+        return serve(
+            ServeConfig(
+                state_dir=args.state_dir,
+                socket_path=args.socket,
+                workers=args.workers,
+                jobs=args.jobs,
+                tenant_budget_s=args.tenant_budget,
+                trace_path=args.trace,
+                cache_dir=resolved_cache_dir,
+                sim_backend=args.sim_backend,
+                max_matrix_bytes=args.max_matrix_bytes,
+            )
+        )
+
     def circuits_of(s: str | None) -> list[str] | None:
         return s.split(",") if s else None
 
     def policy_of(a) -> "RunPolicy | None":
         from .experiments import DEFAULT_CHECKPOINT_ROOT, RunPolicy
 
-        checkpoint_dir = a.checkpoint_dir
-        if a.resume and checkpoint_dir is None:
+        resume = getattr(a, "resume", False)
+        checkpoint_dir = getattr(a, "checkpoint_dir", None)
+        if resume and checkpoint_dir is None:
             checkpoint_dir = DEFAULT_CHECKPOINT_ROOT
+        row_deadline = getattr(a, "row_deadline", None)
+        retries = getattr(a, "retries", 0)
         jobs = getattr(a, "jobs", 1)
         trace = getattr(a, "trace", None)
         cache_dir = cache_dir_of(a)
@@ -418,9 +568,9 @@ def main(argv: list[str] | None = None) -> int:
         max_matrix_bytes = getattr(a, "max_matrix_bytes", None)
         if (
             checkpoint_dir is None
-            and not a.resume
-            and a.row_deadline is None
-            and a.retries == 0
+            and not resume
+            and row_deadline is None
+            and retries == 0
             and jobs <= 1
             and trace is None
             and cache_dir is None
@@ -430,9 +580,9 @@ def main(argv: list[str] | None = None) -> int:
             return None
         return RunPolicy(
             checkpoint_dir=checkpoint_dir,
-            resume=a.resume,
-            row_deadline_s=a.row_deadline,
-            retries=a.retries,
+            resume=resume,
+            row_deadline_s=row_deadline,
+            retries=retries,
             jobs=jobs,
             trace_path=trace,
             cache_dir=cache_dir,
@@ -452,46 +602,59 @@ def main(argv: list[str] | None = None) -> int:
         return 130
 
 
+def _run_campaign_spec(campaign: str, params: dict, policy) -> int:
+    """Run one table campaign through the shared service JobSpec path.
+
+    The CLI is a thin client of the exact code the ``repro serve``
+    daemon executes: same registry, same parameter validation, same
+    renderer — so a flag that works here works over the socket and
+    vice versa.
+    """
+    from .service.api import JobSpec
+    from .service.jobs import execute_job
+
+    result = execute_job(JobSpec(campaign=campaign, params=params), policy)
+    text = result.text
+    sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
 def _dispatch_campaign(args, policy_of, circuits_of) -> int:
     from .experiments import (
-        DEFAULT_SCALE,
-        print_attack_matrix,
         print_protocol,
-        print_table1,
-        print_table2,
         print_trojan_table,
-        run_attack_matrix,
         run_protocol_checks,
-        run_table1,
-        run_table2,
         run_trojan_table,
     )
 
     if args.cmd == "table1":
-        print_table1(
-            run_table1(
-                scale=args.scale or DEFAULT_SCALE,
-                circuits=circuits_of(args.circuits),
-                n_patterns=args.patterns,
-                policy=policy_of(args),
-            )
+        return _run_campaign_spec(
+            "table1",
+            {
+                "scale": args.scale,
+                "circuits": circuits_of(args.circuits),
+                "n_patterns": args.patterns,
+            },
+            policy_of(args),
         )
     elif args.cmd == "table2":
-        print_table2(
-            run_table2(
-                scale=args.scale or DEFAULT_SCALE,
-                circuits=circuits_of(args.circuits),
-                n_random_patterns=args.patterns,
-                policy=policy_of(args),
-            )
+        return _run_campaign_spec(
+            "table2",
+            {
+                "scale": args.scale,
+                "circuits": circuits_of(args.circuits),
+                "n_random_patterns": args.patterns,
+            },
+            policy_of(args),
         )
     elif args.cmd == "attacks":
-        print_attack_matrix(
-            run_attack_matrix(
-                variant=args.variant,
-                attack_deadline_s=args.attack_deadline,
-                policy=policy_of(args),
-            )
+        return _run_campaign_spec(
+            "attacks",
+            {
+                "variant": args.variant,
+                "attack_deadline_s": args.attack_deadline,
+            },
+            policy_of(args),
         )
     elif args.cmd == "trojans":
         print_trojan_table(run_trojan_table())
@@ -515,12 +678,13 @@ def _dispatch_campaign(args, policy_of, circuits_of) -> int:
 
         print_hd_sweep(run_hd_sweep(circuit=args.circuit))
     elif args.cmd == "all":
-        print_table1(run_table1())
+        policy = policy_of(args)
+        _run_campaign_spec("table1", {}, policy)
         print()
-        print_table2(run_table2())
+        _run_campaign_spec("table2", {}, policy)
         print()
         for variant in ("basic", "modified"):
-            print_attack_matrix(run_attack_matrix(variant=variant))
+            _run_campaign_spec("attacks", {"variant": variant}, policy)
             print()
         print_trojan_table(run_trojan_table())
         print()

@@ -12,9 +12,11 @@ column.  :class:`AttackConfig` is the shared base:
 * ``budget`` — the shared :class:`~repro.runtime.Budget` bounding the
   whole run (wall clock + resource caps).
 
-Renamed legacy knobs (``max_rounds``, ``max_flips``) keep working
-through :func:`deprecated_kwargs` constructor shims and read-only
-property aliases, both emitting :class:`DeprecationWarning` — migration
+The pre-v1 spellings (``max_rounds``, ``max_flips``) completed their
+deprecation cycle and were removed with the v1 API freeze — passing
+them is now a :class:`TypeError`.  :func:`deprecated_kwargs` stays: it
+is the mechanism any *future* rename of the frozen v1 surface must go
+through (one full release of warnings before removal); migration policy
 is documented in ``docs/ATTACK_API.md``.
 """
 

@@ -22,19 +22,18 @@ from .. import telemetry
 from ..netlist import Netlist
 from ..runtime.budget import ResourceExhausted
 from ..sim import BitSimulator, broadcast_constant, pack_patterns, popcount_words, tail_mask
-from .config import AttackConfig, deprecated_kwargs
+from .config import AttackConfig
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
 
 
-@deprecated_kwargs(max_flips="max_iterations")
 @dataclass
 class HillClimbConfig(AttackConfig):
     """Knobs for :func:`hill_climb_attack`.
 
-    ``max_iterations`` counts key flips across all restarts (the knob
-    was historically called ``max_flips``, still accepted with a
-    :class:`DeprecationWarning`).
+    ``max_iterations`` counts key flips across all restarts.  (The
+    pre-v1 spelling ``max_flips`` completed its deprecation cycle and
+    was removed; passing it is now a :class:`TypeError`.)
     """
 
     max_iterations: int = 4000

@@ -28,20 +28,19 @@ from .. import telemetry
 from ..netlist import Netlist
 from ..runtime.budget import Budget, ResourceExhausted
 from ..sat import CNF, CircuitEncoder, Solver
-from .config import AttackConfig, deprecated_kwargs
+from .config import AttackConfig
 from ..sim import BitSimulator, broadcast_constant, pack_patterns
 from .oracle import Oracle
 from .result import AttackResult, exhausted_result
 
 
-@deprecated_kwargs(max_rounds="max_iterations")
 @dataclass
 class SensitizationConfig(AttackConfig):
     """Knobs for :func:`sensitization_attack`.
 
-    ``max_iterations`` counts full passes over the key bits (the knob
-    was historically called ``max_rounds``, still accepted with a
-    :class:`DeprecationWarning`).
+    ``max_iterations`` counts full passes over the key bits.  (The
+    pre-v1 spelling ``max_rounds`` completed its deprecation cycle and
+    was removed; passing it is now a :class:`TypeError`.)
     """
 
     max_iterations: int = 8

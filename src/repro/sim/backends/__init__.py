@@ -109,12 +109,22 @@ def get_backend(name: str) -> SimBackend:
 def resolve_backend(name: str = "auto") -> SimBackend:
     """Resolve a lane name (``"auto"`` included) to a usable backend.
 
+    ``"auto"`` honours the ``REPRO_SIM_BACKEND`` environment variable
+    before falling back to :data:`AUTO_BACKEND` — that is how the
+    unified ``--sim-backend`` CLI flag reaches harnesses that simulate
+    without threading a :class:`~repro.experiments.runner.RunPolicy`
+    (an explicit lane name always wins over the environment).
+
     Raises :class:`BackendUnavailable` when the lane exists but its
     dependency or device is absent — callers that want skip-not-fail
     semantics (the bench harness, CI backend matrix) catch exactly that.
     """
     if name == "auto":
-        name = AUTO_BACKEND
+        import os
+
+        name = os.environ.get("REPRO_SIM_BACKEND", "").strip() or AUTO_BACKEND
+        if name == "auto":  # env may itself say "auto"
+            name = AUTO_BACKEND
     backend = get_backend(name)
     if not backend.available():
         raise BackendUnavailable(

@@ -9,7 +9,6 @@ keys.  50% is optimal [3]; Table I reports per-circuit HD for OraP + WLL.
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -146,10 +145,11 @@ def measure_corruption(
             An explicit lane name (``"numpy"``, ``"fused"``,
             ``"numba"``, ``"cupy"``) forces the batched reduction onto
             that lane — unavailable lanes raise
-            :class:`~repro.sim.backends.BackendUnavailable`.  The
-            legacy name ``"optape"`` still selects the batched engine
-            but emits a :class:`DeprecationWarning`.  All backends
-            sample identical keys and return identical reports.
+            :class:`~repro.sim.backends.BackendUnavailable`.  (The
+            pre-v1 spelling ``"optape"`` completed its deprecation
+            cycle and was removed; it now raises :class:`ValueError`.)
+            All backends sample identical keys and return identical
+            reports.
         max_matrix_bytes: cap on the batched backend's value matrix
             (``n_nets * lanes * n_words * 8`` bytes); key lanes are
             evaluated in balanced chunks that fit under it.  ``None``
@@ -215,14 +215,6 @@ def _resolve_corruption_backend(backend: str) -> tuple[str, str]:
     *resolved* execution-lane name for the batched strategy (``"auto"``
     is resolved here so cache keys carry a concrete lane).
     """
-    if backend == "optape":
-        warnings.warn(
-            'measure_corruption(backend="optape") is deprecated; '
-            'use backend="batched" (or leave the default "auto")',
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        backend = "batched"
     if backend == "scalar":
         return "scalar", "scalar"
     if backend in ("auto", "batched"):

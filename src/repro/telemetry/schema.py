@@ -43,6 +43,8 @@ KNOWN_SPANS = frozenset(
         "cache.lookup",
         # bench harness measurements
         "bench.measure",
+        # campaign job service (repro.service): one span per executed job
+        "job.run",
     }
 )
 
@@ -75,6 +77,13 @@ KNOWN_COUNTERS = frozenset(
         "cache.degraded",
         "telemetry.degraded",
         "checkpoint.corrupt",
+        # campaign job service (repro.service): queue state transitions
+        "job.submitted",
+        "job.dedup",
+        "job.completed",
+        "job.failed",
+        "job.cancelled",
+        "job.requeued",
     }
 )
 

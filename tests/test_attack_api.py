@@ -139,21 +139,32 @@ class TestConfigUnification:
         assert cfg.budget is None  # original untouched
         assert cfg.with_budget(None) is cfg
 
-    def test_hillclimb_max_flips_shim(self):
-        with pytest.warns(DeprecationWarning, match="max_flips"):
-            cfg = HillClimbConfig(max_flips=99)
-        assert cfg.max_iterations == 99
-        with pytest.warns(DeprecationWarning, match="max_flips"):
-            assert cfg.max_flips == 99
-
-    def test_sensitization_max_rounds_shim(self):
-        with pytest.warns(DeprecationWarning, match="max_rounds"):
-            cfg = SensitizationConfig(max_rounds=2)
-        assert cfg.max_iterations == 2
-
-    def test_old_and_new_kwarg_together_is_an_error(self):
+    def test_hillclimb_max_flips_removed(self):
+        # the pre-v1 shim completed its deprecation cycle: the legacy
+        # spelling is gone from the frozen surface, not silently aliased
         with pytest.raises(TypeError, match="max_flips"):
-            HillClimbConfig(max_flips=1, max_iterations=2)
+            HillClimbConfig(max_flips=99)
+        assert not hasattr(HillClimbConfig(max_iterations=99), "max_flips")
+
+    def test_sensitization_max_rounds_removed(self):
+        with pytest.raises(TypeError, match="max_rounds"):
+            SensitizationConfig(max_rounds=2)
+        assert not hasattr(SensitizationConfig(max_iterations=2), "max_rounds")
+
+    def test_deprecated_kwargs_machinery_still_guards_v1(self):
+        # the *mechanism* stays for future renames of the frozen surface
+        from repro.attacks.config import AttackConfig, deprecated_kwargs
+
+        @deprecated_kwargs(old_name="max_iterations")
+        @dataclasses.dataclass
+        class FutureConfig(AttackConfig):
+            pass
+
+        with pytest.warns(DeprecationWarning, match="old_name"):
+            cfg = FutureConfig(old_name=3)
+        assert cfg.max_iterations == 3
+        with pytest.raises(TypeError, match="old_name"):
+            FutureConfig(old_name=1, max_iterations=2)
 
 
 class TestCorruptionBackendKeyword:
@@ -172,10 +183,9 @@ class TestCorruptionBackendKeyword:
     def test_auto_equals_batched(self, wll):
         assert self._measure(wll, "auto") == self._measure(wll, "batched")
 
-    def test_legacy_optape_warns_but_matches(self, wll):
-        with pytest.warns(DeprecationWarning, match="optape"):
-            legacy = self._measure(wll, "optape")
-        assert legacy == self._measure(wll, "batched")
+    def test_legacy_optape_spelling_removed(self, wll):
+        with pytest.raises(ValueError, match="optape"):
+            self._measure(wll, "optape")
 
     def test_unknown_backend_rejected(self, wll):
         with pytest.raises(ValueError, match="vectorized"):

@@ -420,11 +420,11 @@ class TestMetricsKnobs:
             pytest.skip("result cache disabled in this environment")
         assert k_fused != k_numpy
 
-    def test_optape_backend_name_deprecated(self):
+    def test_optape_backend_name_removed(self):
         from repro.sim import measure_corruption
 
         _, lc = self._locked()
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="optape"):
             measure_corruption(
                 lc.locked,
                 lc.key_inputs,
