@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry bench-supervisor bench-service bench-gate trace-smoke cache-smoke chaos-smoke serve-smoke experiments examples clean
+.PHONY: install dev lint test verify-fast verify-robust bench bench-sim bench-sim-smoke bench-telemetry bench-supervisor bench-service bench-corpus bench-gate trace-smoke cache-smoke chaos-smoke serve-smoke corpus-smoke experiments examples clean
 
 install:
 	pip install -e .
@@ -138,6 +138,45 @@ serve-smoke:
 		--out .bench-fresh-service/BENCH_service.json
 	PYTHONPATH=src $(PY) scripts/bench_compare.py \
 		--fresh-dir .bench-fresh-service --only service
+
+# front-end parse throughput + round-trip/recovery invariants;
+# refreshes BENCH_corpus.json (gated by scripts/bench_compare.py
+# --only corpus against its embedded lines/s floor)
+bench-corpus:
+	PYTHONPATH=src $(PY) -m repro.corpus.bench --out BENCH_corpus.json
+
+# real-corpus ingestion smoke, fully offline (mirrors the corpus-smoke
+# CI job): materialize the vendored ISCAS/ITC families into a scratch
+# store, verify every checksum, run Table I on a genuine family twice
+# (second run --resume must be byte-identical), prove every malformed
+# netlist in tests/data/corpus_bad/ yields structured diagnostics, then
+# regenerate BENCH_corpus.json into .bench-fresh-corpus/ and gate it.
+# The store dir is NOT wiped: CI restores .repro-corpus-smoke keyed on
+# the manifest checksum, and stale layouts self-wipe via the VERSION
+# stamp.
+corpus-smoke:
+	rm -rf .ckpt-corpus-smoke
+	REPRO_CORPUS_OFFLINE=1 PYTHONPATH=src $(PY) -m repro corpus fetch \
+		--offline --corpus-dir .repro-corpus-smoke
+	REPRO_CORPUS_OFFLINE=1 PYTHONPATH=src $(PY) -m repro corpus verify \
+		--corpus-dir .repro-corpus-smoke
+	REPRO_CORPUS_OFFLINE=1 PYTHONPATH=src $(PY) -m repro corpus list \
+		--corpus-dir .repro-corpus-smoke
+	REPRO_CORPUS_OFFLINE=1 REPRO_CORPUS_DIR=.repro-corpus-smoke \
+		PYTHONPATH=src $(PY) -m repro table1 --corpus iscas85-mini \
+		--jobs 2 --patterns 256 --checkpoint-dir .ckpt-corpus-smoke \
+		> TABLE_corpus_a.txt
+	REPRO_CORPUS_OFFLINE=1 REPRO_CORPUS_DIR=.repro-corpus-smoke \
+		PYTHONPATH=src $(PY) -m repro table1 --corpus iscas85-mini \
+		--jobs 2 --patterns 256 --checkpoint-dir .ckpt-corpus-smoke \
+		--resume > TABLE_corpus_b.txt
+	cmp TABLE_corpus_a.txt TABLE_corpus_b.txt
+	PYTHONPATH=src $(PY) scripts/corpus_robustness.py
+	rm -rf .bench-fresh-corpus && mkdir -p .bench-fresh-corpus
+	PYTHONPATH=src $(PY) -m repro.corpus.bench \
+		--out .bench-fresh-corpus/BENCH_corpus.json
+	PYTHONPATH=src $(PY) scripts/bench_compare.py \
+		--fresh-dir .bench-fresh-corpus --only corpus
 
 # end-to-end trace fan-in: a tiny 4-way parallel campaign streamed to
 # one JSONL file, then every record schema-validated (an unknown span

@@ -9,6 +9,8 @@ Usage::
     python -m repro protocol
     python -m repro ablations
     python -m repro bench [--smoke]
+    python -m repro corpus fetch --offline
+    python -m repro table1 --corpus iscas85-mini
     python -m repro trace report out.jsonl
     python -m repro cache stats
     python -m repro serve --state-dir .repro-serve
@@ -140,16 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
+    corpus_help = (
+        "run on a genuine corpus family (e.g. iscas85-mini) from the "
+        "verified store instead of the synthetic stand-ins; see "
+        "`repro corpus fetch` and docs/CORPUS.md"
+    )
+
     p1 = sub.add_parser("table1", help="Table I: HD + area/delay overhead")
     p1.add_argument("--scale", type=float, default=None)
     p1.add_argument("--circuits", type=str, default=None)
     p1.add_argument("--patterns", type=int, default=4096)
+    p1.add_argument("--corpus", type=str, default=None, help=corpus_help)
     add_runtime_flags(p1)
 
     p2 = sub.add_parser("table2", help="Table II: stuck-at testability")
     p2.add_argument("--scale", type=float, default=None)
     p2.add_argument("--circuits", type=str, default=None)
     p2.add_argument("--patterns", type=int, default=1024)
+    p2.add_argument("--corpus", type=str, default=None, help=corpus_help)
     add_runtime_flags(p2)
 
     pa = sub.add_parser("attacks", help="Sect. II-A attack matrix")
@@ -162,16 +172,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget per attack (expired attacks show as "
         "timeout rows)",
     )
+    pa.add_argument("--corpus", type=str, default=None, help=corpus_help)
+    pa.add_argument(
+        "--circuit",
+        type=str,
+        default=None,
+        help="pick one corpus circuit as the protected host "
+        "(default: first sequential circuit of the family)",
+    )
     add_runtime_flags(pa)
 
     for name, help_text in (
         ("trojans", "Sect. III Trojan payload table"),
         ("protocol", "Figs. 1-3 protocol checks"),
         ("ablations", "design-knob sweeps"),
-        ("arms-race", "Sect. I attack history, replayed"),
         ("all", "every experiment, default parameters"),
     ):
         add_runtime_flags(sub.add_parser(name, help=help_text), policy=False)
+    par = sub.add_parser("arms-race", help="Sect. I attack history, replayed")
+    par.add_argument("--corpus", type=str, default=None, help=corpus_help)
+    par.add_argument(
+        "--circuit",
+        type=str,
+        default=None,
+        help="pick one corpus circuit as the host "
+        "(default: first circuit of the family)",
+    )
+    add_runtime_flags(par, policy=False)
     ps = sub.add_parser("scaling", help="substitution scale-stability study")
     ps.add_argument("--circuit", default="b20")
     add_runtime_flags(ps, policy=False)
@@ -303,6 +330,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a cProfile artifact per benched circuit into DIR "
         "(default .bench-profile)",
     )
+
+    pcor = sub.add_parser(
+        "corpus",
+        help="fetch/inspect the ISCAS/ITC benchmark-netlist corpus "
+        "(docs/CORPUS.md)",
+    )
+    pcor.add_argument(
+        "action",
+        choices=["fetch", "list", "verify", "stats"],
+        help="fetch: materialize families into the verified store; "
+        "list: stored entries; verify: re-hash everything (vendored "
+        "corruption heals in place); stats: occupancy + manifest "
+        "checksum",
+    )
+    pcor.add_argument(
+        "--families",
+        type=str,
+        default=None,
+        metavar="A,B",
+        help="comma-separated corpus families (default: every family "
+        "the current mode can satisfy)",
+    )
+    pcor.add_argument(
+        "--offline",
+        action="store_true",
+        help="vendored fixtures only, never open a socket "
+        "(REPRO_CORPUS_OFFLINE=1 forces this everywhere)",
+    )
+    pcor.add_argument(
+        "--corpus-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="corpus store root (default .repro-corpus or "
+        "REPRO_CORPUS_DIR)",
+    )
+    pcor.add_argument(
+        "--force",
+        action="store_true",
+        help="(fetch) re-ingest entries already present",
+    )
+    pcor.add_argument("--format", choices=["text", "json"], default="text")
 
     pc = sub.add_parser(
         "cache", help="inspect or maintain the content-addressed result cache"
@@ -452,6 +521,18 @@ def main(argv: list[str] | None = None) -> int:
             smoke=args.smoke,
             backend=args.backend,
             profile_dir=args.profile,
+        )
+
+    if args.cmd == "corpus":
+        from .corpus.cli import run_corpus_cli
+
+        return run_corpus_cli(
+            args.action,
+            families=args.families.split(",") if args.families else None,
+            offline=args.offline,
+            corpus_dir=args.corpus_dir,
+            force=args.force,
+            fmt=args.format,
         )
 
     if args.cmd == "cache":
@@ -634,6 +715,7 @@ def _dispatch_campaign(args, policy_of, circuits_of) -> int:
                 "scale": args.scale,
                 "circuits": circuits_of(args.circuits),
                 "n_patterns": args.patterns,
+                "corpus": args.corpus,
             },
             policy_of(args),
         )
@@ -644,6 +726,7 @@ def _dispatch_campaign(args, policy_of, circuits_of) -> int:
                 "scale": args.scale,
                 "circuits": circuits_of(args.circuits),
                 "n_random_patterns": args.patterns,
+                "corpus": args.corpus,
             },
             policy_of(args),
         )
@@ -653,6 +736,8 @@ def _dispatch_campaign(args, policy_of, circuits_of) -> int:
             {
                 "variant": args.variant,
                 "attack_deadline_s": args.attack_deadline,
+                "corpus": args.corpus,
+                "circuit": args.circuit,
             },
             policy_of(args),
         )
@@ -668,7 +753,9 @@ def _dispatch_campaign(args, policy_of, circuits_of) -> int:
     elif args.cmd == "arms-race":
         from .experiments import print_arms_race, run_arms_race
 
-        print_arms_race(run_arms_race())
+        print_arms_race(
+            run_arms_race(corpus=args.corpus, circuit=args.circuit)
+        )
     elif args.cmd == "scaling":
         from .experiments import print_scaling, run_scaling_study
 

@@ -21,7 +21,11 @@ from .registry import (
     PAPER_CIRCUITS,
     PAPER_ORDER,
     PaperCircuit,
+    build_corpus_circuit,
+    build_corpus_sequential,
     build_paper_circuit,
+    corpus_circuit_names,
+    corpus_key_size,
     scaled_key_size,
 )
 
@@ -41,6 +45,10 @@ __all__ = [
     "PAPER_CIRCUITS",
     "PAPER_ORDER",
     "PaperCircuit",
+    "build_corpus_circuit",
+    "build_corpus_sequential",
     "build_paper_circuit",
+    "corpus_circuit_names",
+    "corpus_key_size",
     "scaled_key_size",
 ]

@@ -1,0 +1,57 @@
+"""Real-corpus ingestion: streaming netlist front end + benchmark manager.
+
+``repro.corpus`` owns everything between a benchmark distribution and a
+:class:`~repro.netlist.SequentialCircuit` in memory:
+
+* :mod:`repro.corpus.frontend` — the unified streaming, error-recovering
+  BENCH/Verilog parser front end (``repro.netlist.parse_bench`` and
+  friends delegate here);
+* :mod:`repro.corpus.manifest` — the checked-in catalog of ISCAS'85/'89
+  and ITC'99 class netlists (URLs + blake2b checksums + vendored
+  offline fixtures);
+* :mod:`repro.corpus.store` — the content-addressed on-disk store the
+  ``repro corpus`` CLI fetches into (atomic writes, paranoid reads,
+  corruption healing — the :mod:`repro.cache` conventions);
+* :mod:`repro.corpus.loader` — parse-once circuit handles shared by
+  campaign pre-flight lint and row compute.
+
+Import cycle note: :mod:`repro.netlist` imports this package lazily
+(inside function bodies), and this package imports :mod:`repro.netlist`
+at module top — that order is load-bearing, do not invert it.
+"""
+
+from __future__ import annotations
+
+from .frontend import (
+    ParseDiagnostic,
+    ParseResult,
+    parse_bench_recovering,
+    parse_verilog_recovering,
+)
+from .manifest import (
+    CorpusEntry,
+    FAMILIES,
+    OFFLINE_FAMILIES,
+    entries_for,
+    manifest_checksum,
+)
+from .store import CorpusError, CorpusStore, default_store
+from .loader import CircuitHandle, load_circuit, preflight_report
+
+__all__ = [
+    "CircuitHandle",
+    "CorpusEntry",
+    "CorpusError",
+    "CorpusStore",
+    "FAMILIES",
+    "OFFLINE_FAMILIES",
+    "ParseDiagnostic",
+    "ParseResult",
+    "default_store",
+    "entries_for",
+    "load_circuit",
+    "manifest_checksum",
+    "parse_bench_recovering",
+    "parse_verilog_recovering",
+    "preflight_report",
+]

@@ -1,0 +1,111 @@
+"""`repro corpus` — fetch/inspect the benchmark-netlist corpus.
+
+Thin shell over :class:`~repro.corpus.store.CorpusStore`:
+
+* ``fetch``  — materialize families into the store (``--offline`` or
+  ``REPRO_CORPUS_OFFLINE=1`` sticks to vendored fixtures, zero sockets);
+* ``list``   — stored entries with origin and byte counts;
+* ``verify`` — re-hash everything; vendored corruption heals in place;
+* ``stats``  — occupancy per family plus the manifest checksum (the CI
+  cache key for the store).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .store import CorpusStore, default_store
+
+
+def _resolve_store(corpus_dir: "str | None") -> CorpusStore:
+    return CorpusStore(corpus_dir) if corpus_dir else default_store()
+
+
+def run_corpus_cli(
+    action: str,
+    families: "list[str] | None" = None,
+    offline: bool = False,
+    corpus_dir: "str | None" = None,
+    force: bool = False,
+    fmt: str = "text",
+) -> int:
+    """Execute one corpus action; returns a process exit code."""
+    store = _resolve_store(corpus_dir)
+
+    if action == "fetch":
+        try:
+            results = store.fetch(families, offline=offline, force=force)
+        except KeyError as exc:
+            print(f"corpus fetch: {exc.args[0]}", file=sys.stderr)
+            return 2
+        failed = [r for r in results if r[1].startswith("error")]
+        if fmt == "json":
+            print(json.dumps(
+                {"results": [
+                    {"name": n, "action": a} for n, a in results
+                ], "ok": not failed},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            width = max((len(n) for n, _ in results), default=0)
+            for name, act in results:
+                print(f"  {name:<{width}}  {act}")
+            print(f"{len(results) - len(failed)}/{len(results)} circuit(s) ok")
+        if failed:
+            for name, act in failed:
+                print(f"corpus fetch: {name}: {act}", file=sys.stderr)
+            return 1
+        return 0
+
+    if action == "list":
+        entries = store.list_entries()
+        if families:
+            wanted = set(families)
+            entries = [e for e in entries if e["family"] in wanted]
+        if fmt == "json":
+            print(json.dumps({"entries": entries}, indent=2, sort_keys=True))
+        else:
+            if not entries:
+                print("corpus store is empty; run `repro corpus fetch`")
+                return 0
+            width = max(len(e["name"]) for e in entries)
+            for e in entries:
+                print(
+                    f"  {e['name']:<{width}}  {e['family']:<14} "
+                    f"{e['fmt']:<7} {e['bytes']:>8} B  {e['origin']}"
+                )
+            print(f"{len(entries)} circuit(s) stored")
+        return 0
+
+    if action == "verify":
+        problems = store.verify()
+        if fmt == "json":
+            print(json.dumps(
+                {"problems": problems, "ok": not problems},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for p in problems:
+                print(f"  {p}")
+            print("corpus verify: "
+                  + ("clean" if not problems
+                     else f"{len(problems)} problem(s)"))
+        # healed entries are not failures; only unrecovered ones are
+        return 1 if any("refetch required" in p for p in problems) else 0
+
+    if action == "stats":
+        stats = store.stats()
+        if fmt == "json":
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"  root              {stats['root']}")
+            print(f"  entries           {stats['entries']}")
+            print(f"  bytes             {stats['bytes']}")
+            for fam, n in sorted(stats["families"].items()):
+                print(f"  family {fam:<11} {n}")
+            print(f"  manifest checksum {stats['manifest_checksum']}")
+        return 0
+
+    print(f"repro corpus: unknown action {action!r}", file=sys.stderr)
+    return 2

@@ -1,0 +1,19 @@
+module c17 (G1, G2, G3, G6, G7, G22, G23);
+  input G1;
+  input G2;
+  input G3;
+  input G6;
+  input G7;
+  output G22;
+  output G23;
+  wire G10;
+  wire G11;
+  wire G16;
+  wire G19;
+  nand g0 (G10, G1, G3);
+  nand g1 (G11, G3, G6);
+  nand g2 (G16, G2, G11);
+  nand g3 (G19, G11, G7);
+  nand g4 (G22, G10, G16);
+  nand g5 (G23, G16, G19);
+endmodule

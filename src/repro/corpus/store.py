@@ -1,0 +1,328 @@
+"""Content-addressed on-disk store for fetched benchmark netlists.
+
+Mirrors the :mod:`repro.cache` store disciplines:
+
+* **atomic writes** — netlist bytes land via temp-file + ``os.replace``
+  (:func:`repro.runtime.codec.atomic_write_text`), the index via
+  ``atomic_write_json``; a crash mid-fetch never leaves a torn entry;
+* **paranoid reads** — every :meth:`CorpusStore.path_of` re-hashes the
+  file against the pinned digest; a mismatch heals from the vendored
+  fixture when one exists (bumping the ``corpus.store.heal`` counter)
+  and raises :class:`CorpusError` otherwise;
+* **versioned layout** — a ``VERSION`` stamp is checked on open and the
+  store is wiped on mismatch (stale layouts become clean refetches, not
+  undefined behaviour).
+
+Layout::
+
+    <root>/VERSION            corpus/<CORPUS_FORMAT>
+    <root>/index.json         name -> {digest, family, fmt, bytes, origin}
+    <root>/files/<dg[:2]>/<digest>.<bench|v>   raw netlist bytes
+
+Checksums are blake2b (``digest_size=16``), the :mod:`repro.cache.keys`
+width.  Remote entries without a manifest digest are pinned
+trust-on-first-use: the first fetch records the digest in the index and
+every later read verifies against it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Iterable
+
+from .. import telemetry
+from ..runtime.codec import atomic_write_json, atomic_write_text, read_json
+from .manifest import (
+    FIXTURES_DIR,
+    CorpusEntry,
+    blake2b_hex,
+    entries_for,
+)
+
+#: bump on any layout change; mismatched stores are wiped on open
+CORPUS_FORMAT = 1
+
+#: default store root, relative to the CWD (same convention as
+#: .repro-cache / .repro-checkpoints); override with REPRO_CORPUS_DIR
+DEFAULT_CORPUS_ROOT = ".repro-corpus"
+
+#: environment switch forcing offline (vendored-fixtures-only) mode
+OFFLINE_ENV = "REPRO_CORPUS_OFFLINE"
+
+_DOWNLOAD_TIMEOUT_S = 30.0
+
+
+class CorpusError(RuntimeError):
+    """A corpus store problem the caller must handle (missing circuit,
+    checksum mismatch with no healing source, network needed offline)."""
+
+
+def offline_env() -> bool:
+    """True when REPRO_CORPUS_OFFLINE requests vendored-only operation."""
+    return os.environ.get(OFFLINE_ENV, "").strip() not in ("", "0")
+
+
+def default_store() -> "CorpusStore":
+    """The store at REPRO_CORPUS_DIR (default ``.repro-corpus``)."""
+    root = os.environ.get("REPRO_CORPUS_DIR") or DEFAULT_CORPUS_ROOT
+    return CorpusStore(root)
+
+
+class CorpusStore:
+    """Content-addressed corpus store with paranoid reads."""
+
+    def __init__(self, root: "str | Path" = DEFAULT_CORPUS_ROOT) -> None:
+        self.root = Path(root)
+        self._ensure_layout()
+
+    # -------------------------------------------------------------- #
+    # layout
+
+    @property
+    def _version_path(self) -> Path:
+        return self.root / "VERSION"
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _file_path(self, digest: str, fmt: str = "bench") -> Path:
+        # the suffix carries the format so downstream parsers (which
+        # dispatch on it) work straight off the verified path
+        ext = ".v" if fmt == "verilog" else ".bench"
+        return self.root / "files" / digest[:2] / (digest + ext)
+
+    def _ensure_layout(self) -> None:
+        stamp = f"corpus/{CORPUS_FORMAT}\n"
+        if self.root.exists():
+            try:
+                current = self._version_path.read_text()
+            except OSError:
+                current = ""
+            if current != stamp:
+                # stale or foreign layout: wipe, never reinterpret
+                shutil.rmtree(self.root, ignore_errors=True)
+        (self.root / "files").mkdir(parents=True, exist_ok=True)
+        if not self._version_path.exists():
+            atomic_write_text(self._version_path, stamp)
+
+    def _read_index(self) -> dict:
+        data = read_json(self._index_path)
+        if not isinstance(data, dict) or not isinstance(
+            data.get("entries"), dict
+        ):
+            return {"entries": {}}
+        return data
+
+    def _write_index(self, index: dict) -> None:
+        atomic_write_json(self._index_path, index)
+
+    # -------------------------------------------------------------- #
+    # ingest
+
+    def _ingest(self, entry: CorpusEntry, data: bytes, origin: str,
+                index: dict) -> str:
+        """Store one circuit's bytes; returns the digest."""
+        digest = blake2b_hex(data)
+        if entry.blake2b is not None and digest != entry.blake2b:
+            raise CorpusError(
+                f"corpus entry {entry.name!r}: checksum mismatch "
+                f"(manifest {entry.blake2b}, got {digest})"
+            )
+        path = self._file_path(digest, entry.fmt)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, data.decode("utf-8"))
+        index["entries"][entry.name] = {
+            "digest": digest,
+            "family": entry.family,
+            "fmt": entry.fmt,
+            "bytes": len(data),
+            "origin": origin,
+            "filename": entry.filename,
+        }
+        return digest
+
+    def _vendored_bytes(self, entry: CorpusEntry) -> bytes:
+        assert entry.vendored is not None
+        return (FIXTURES_DIR / entry.vendored).read_bytes()
+
+    def _download(self, entry: CorpusEntry) -> bytes:
+        assert entry.url is not None
+        from urllib.request import urlopen  # stdlib only; no new deps
+
+        with urlopen(entry.url, timeout=_DOWNLOAD_TIMEOUT_S) as resp:
+            return resp.read()
+
+    def fetch(
+        self,
+        families: "list[str] | None" = None,
+        offline: bool = False,
+        force: bool = False,
+    ) -> list[tuple[str, str]]:
+        """Materialize a family selection into the store.
+
+        Returns ``(name, action)`` pairs with action one of ``vendored``,
+        ``downloaded``, ``cached`` or ``error: ...``.  ``offline`` (or
+        ``REPRO_CORPUS_OFFLINE=1``) restricts the selection to vendored
+        entries and never opens a socket.  ``force`` re-ingests entries
+        already present.
+        """
+        offline = offline or offline_env()
+        index = self._read_index()
+        results: list[tuple[str, str]] = []
+        for entry in entries_for(families, offline=offline):
+            known = index["entries"].get(entry.name)
+            if known is not None and not force:
+                if self._file_path(
+                    known["digest"], known.get("fmt", "bench")
+                ).exists():
+                    results.append((entry.name, "cached"))
+                    continue
+            try:
+                if entry.vendored is not None:
+                    self._ingest(entry, self._vendored_bytes(entry),
+                                 "vendored", index)
+                    results.append((entry.name, "vendored"))
+                elif offline:
+                    results.append(
+                        (entry.name, "error: remote entry in offline mode")
+                    )
+                else:
+                    self._ingest(entry, self._download(entry),
+                                 "downloaded", index)
+                    results.append((entry.name, "downloaded"))
+            except CorpusError as exc:
+                results.append((entry.name, f"error: {exc}"))
+            except (OSError, UnicodeDecodeError) as exc:
+                results.append((entry.name, f"error: {exc}"))
+        self._write_index(index)
+        return results
+
+    # -------------------------------------------------------------- #
+    # paranoid reads
+
+    def _heal(self, entry: CorpusEntry, index: dict) -> Path:
+        """Re-ingest a vendored entry after a corruption event."""
+        digest = self._ingest(entry, self._vendored_bytes(entry),
+                              "healed", index)
+        self._write_index(index)
+        telemetry.counter_add("corpus.store.heal")
+        return self._file_path(digest, entry.fmt)
+
+    def path_of(self, name: str) -> Path:
+        """Verified path of a stored circuit.
+
+        Re-hashes the stored bytes on every call; on mismatch the file
+        is dropped and, for vendored entries, healed from the fixture.
+        Raises :class:`CorpusError` when the circuit is absent or cannot
+        be healed.
+        """
+        from .manifest import find_entry
+
+        index = self._read_index()
+        known = index["entries"].get(name)
+        try:
+            entry = find_entry(name)
+        except KeyError as exc:
+            raise CorpusError(str(exc)) from exc
+        if known is None:
+            if entry.vendored is not None:
+                return self._heal(entry, index)
+            raise CorpusError(
+                f"corpus circuit {name!r} not fetched; run "
+                f"`repro corpus fetch`"
+            )
+        path = self._file_path(known["digest"], known.get("fmt", "bench"))
+        try:
+            data = path.read_bytes()
+        except OSError:
+            data = None
+        if data is None or blake2b_hex(data) != known["digest"]:
+            if path.exists():
+                path.unlink(missing_ok=True)
+            if entry.vendored is not None:
+                return self._heal(entry, index)
+            del index["entries"][name]
+            self._write_index(index)
+            raise CorpusError(
+                f"corpus circuit {name!r} is corrupt and has no vendored "
+                f"source; re-run `repro corpus fetch`"
+            )
+        return path
+
+    def read_text(self, name: str) -> str:
+        return self.path_of(name).read_text()
+
+    # -------------------------------------------------------------- #
+    # inspection
+
+    def list_entries(self) -> list[dict]:
+        """Stored entries, index order, with manifest context."""
+        index = self._read_index()
+        out = []
+        for name, meta in sorted(index["entries"].items()):
+            out.append({"name": name, **meta})
+        return out
+
+    def verify(self) -> list[str]:
+        """Re-hash every stored entry; returns problem descriptions.
+
+        Vendored entries found corrupt are healed in place (counted in
+        the report); remote entries are dropped so the next fetch can
+        repair them.
+        """
+        problems: list[str] = []
+        index = self._read_index()
+        for name in list(index["entries"]):
+            meta = index["entries"][name]
+            path = self._file_path(meta["digest"], meta.get("fmt", "bench"))
+            try:
+                data = path.read_bytes()
+            except OSError:
+                data = None
+            if data is not None and blake2b_hex(data) == meta["digest"]:
+                continue
+            problems.append(f"{name}: stored bytes do not match digest")
+            try:
+                self.path_of(name)  # heals or drops
+                problems[-1] += " (healed from vendored fixture)"
+            except CorpusError:
+                problems[-1] += " (dropped; refetch required)"
+        return problems
+
+    def stats(self) -> dict:
+        """Counts and sizes, plus the manifest checksum for cache keys."""
+        from .manifest import manifest_checksum
+
+        index = self._read_index()
+        entries = index["entries"]
+        total = sum(int(m.get("bytes", 0)) for m in entries.values())
+        by_family: dict[str, int] = {}
+        for meta in entries.values():
+            by_family[meta["family"]] = by_family.get(meta["family"], 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total,
+            "families": by_family,
+            "manifest_checksum": manifest_checksum(),
+        }
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+        self._ensure_layout()
+
+
+def fetch_names(
+    store: CorpusStore, names: Iterable[str], offline: bool = False
+) -> None:
+    """Ensure the given circuits are present (vendored ones self-heal)."""
+    needed = set(names)
+    families = sorted(
+        {e.family for e in entries_for(offline=offline) if e.name in needed}
+    )
+    if families:
+        store.fetch(families, offline=offline)

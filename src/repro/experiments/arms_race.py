@@ -62,15 +62,37 @@ def _approx_match(lc, key) -> float:
     )
 
 
-def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
-    """Replay the attack history on one host circuit."""
-    host = generate_netlist(
-        GeneratorConfig(
-            n_inputs=14, n_outputs=10, n_gates=110, depth=7, seed=seed,
-            name="arms",
+def run_arms_race(
+    seed: int = 9,
+    corpus: str | None = None,
+    circuit: str | None = None,
+) -> list[ArmsRaceRow]:
+    """Replay the attack history on one host circuit.
+
+    ``corpus`` swaps the synthetic host for a genuine corpus netlist
+    (``circuit`` names one; default: the first of the family), loaded as
+    its full-scan combinational core through the verified store.
+    """
+    if corpus is not None:
+        from ..bench import build_corpus_circuit, corpus_circuit_names
+
+        name = circuit or corpus_circuit_names(corpus)[0]
+        host = build_corpus_circuit(name, corpus)
+    else:
+        host = generate_netlist(
+            GeneratorConfig(
+                n_inputs=14, n_outputs=10, n_gates=110, depth=7, seed=seed,
+                name="arms",
+            )
         )
-    )
     rows: list[ArmsRaceRow] = []
+
+    # input-comparator schemes (SARLock/Anti-SAT/TTLock) cannot be wider
+    # than the host's input count; small corpus hosts clamp them down
+    n_in = len(host.inputs)
+    sar_w = min(7, n_in)
+    anti_w = min(8, n_in)
+    tt_w = min(8, n_in)
 
     # --- RLL ---
     rll = lock_random(host, key_width=8, rng=2)
@@ -94,7 +116,7 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
     )
 
     # --- SARLock ---
-    sar = lock_sarlock(host, key_width=7, rng=2)
+    sar = lock_sarlock(host, key_width=sar_w, rng=2)
     r = run_attack(
         "sat", sar, IdealOracle(sar.original),
         config=SATAttackConfig(max_iterations=16),
@@ -129,7 +151,7 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
     )
 
     # --- Anti-SAT ---
-    ans = lock_antisat(host, half_width=8, rng=2)
+    ans = lock_antisat(host, half_width=anti_w, rng=2)
     r = run_attack("sps", ans)
     rows.append(
         ArmsRaceRow("Anti-SAT", "sps", False, r.completed,
@@ -209,7 +231,7 @@ def run_arms_race(seed: int = 9) -> list[ArmsRaceRow]:
     rows.append(ArmsRaceRow("Cyclic", "cycsat", True, r.completed, cyc_broken))
 
     # --- TTLock / SFLL ---
-    tt = lock_ttlock(host, key_width=8, rng=2)
+    tt = lock_ttlock(host, key_width=tt_w, rng=2)
     r = run_attack("fall", tt)
     rows.append(
         ArmsRaceRow("TTLock", "FALL (oracle-less)", False, r.completed,

@@ -74,6 +74,40 @@ def default_design(seed: int = 7, variant: str = "basic"):
     )
 
 
+def corpus_design(
+    corpus: str,
+    circuit: str | None = None,
+    seed: int = 7,
+    variant: str = "basic",
+):
+    """An OraP-protected design hosted on a genuine corpus circuit.
+
+    The host must be sequential (OraP protects the scan interface);
+    ``circuit=None`` picks the first flop-bearing circuit of the family.
+    """
+    from ..bench import build_corpus_sequential, corpus_circuit_names
+    from ..corpus.loader import load_corpus_circuit
+
+    names = [circuit] if circuit else corpus_circuit_names(corpus)
+    host = None
+    for name in names:
+        candidate = build_corpus_sequential(name)
+        if candidate.flops:
+            host = candidate
+            break
+    if host is None:
+        raise ValueError(
+            f"corpus family {corpus!r} selection {names} has no sequential "
+            f"circuit; OraP needs a scan chain to protect"
+        )
+    return protect(
+        host,
+        orap=OraPConfig(variant=variant),
+        wll=WLLConfig(key_width=12, control_width=3, n_key_gates=6),
+        rng=seed,
+    )
+
+
 def run_attack_matrix(
     variant: str = "basic",
     seed: int = 7,
@@ -81,6 +115,8 @@ def run_attack_matrix(
     attack_deadline_s: float | None = None,
     design=None,
     policy: RunPolicy | None = None,
+    corpus: str | None = None,
+    circuit: str | None = None,
 ) -> list[MatrixCell]:
     """Run every oracle-based attack against both chip types.
 
@@ -92,10 +128,17 @@ def run_attack_matrix(
             defaults to :func:`default_design`.
         policy: full per-row execution policy (deadlines, retries,
             checkpoint/resume).
+        corpus / circuit: host the protected design on a genuine
+            :mod:`repro.corpus` circuit instead of the synthetic
+            stand-in (the fingerprint then pins the corpus selection).
     """
     policy = policy or RunPolicy()
     if attack_deadline_s is not None:
         policy = dataclasses.replace(policy, row_deadline_s=attack_deadline_s)
+    if design is None and corpus is not None:
+        design = corpus_design(
+            corpus, circuit=circuit, seed=seed, variant=variant
+        )
     d = design if design is not None else default_design(seed=seed, variant=variant)
     locked = d.locked
 
@@ -114,6 +157,8 @@ def run_attack_matrix(
             "seed": seed,
             "max_iterations": max_iterations,
             "deadline_s": policy.row_deadline_s,
+            "corpus": corpus,
+            "circuit": circuit,
         },
     )
     cells: list[MatrixCell] = []

@@ -22,7 +22,15 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
 
-from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
+from ..bench import (
+    PAPER_CIRCUITS,
+    PAPER_ORDER,
+    build_corpus_circuit,
+    build_paper_circuit,
+    corpus_circuit_names,
+    corpus_key_size,
+    scaled_key_size,
+)
 from ..lint import lint_netlist
 from ..locking import WLLConfig, lock_weighted
 from ..orap import LFSRConfig
@@ -158,6 +166,78 @@ def _table1_preflight(name: str, scale: float):
     )
 
 
+#: control-gate fan-in used for corpus circuits (the paper's default; it
+#: uses 5 only for the giant b18/b19, which stay out of CI reach)
+_CORPUS_CONTROL_INPUTS = 3
+
+
+def _table1_corpus_compute(
+    name: str,
+    corpus: str,
+    n_patterns: int,
+    n_keys: int,
+    seed: int,
+    backend: str = "auto",
+    max_matrix_bytes: int | None = None,
+    budget: Budget | None = None,
+) -> Table1Row:
+    """One Table I row on a genuine corpus netlist.
+
+    The circuit comes from the corpus store (checksum-verified,
+    parse-once via :mod:`repro.corpus.loader`); there are no published
+    reference numbers for these rows, so the ``paper_*`` columns are 0.
+    """
+    netlist = build_corpus_circuit(name, corpus)
+    key_width = corpus_key_size(netlist)
+    locked, report, n_key_gates = lock_for_table1(
+        netlist,
+        key_width,
+        _CORPUS_CONTROL_INPUTS,
+        n_patterns=n_patterns,
+        n_keys=n_keys,
+        rng=seed,
+        budget=budget,
+        backend=backend,
+        max_matrix_bytes=max_matrix_bytes,
+    )
+    lfsr_cfg = LFSRConfig(size=key_width)
+    overhead = measure_overhead(locked.original, locked.locked, lfsr_cfg)
+    return Table1Row(
+        circuit=name,
+        n_gates=netlist.num_gates(count_inverters=False),
+        n_outputs=len(netlist.outputs),
+        lfsr_size=key_width,
+        control_inputs=_CORPUS_CONTROL_INPUTS,
+        n_key_gates=n_key_gates,
+        hd_percent=report.hd_percent,
+        area_overhead_percent=overhead.area_overhead_percent,
+        delay_overhead_percent=overhead.delay_overhead_percent,
+        paper_hd=0.0,
+        paper_area=0.0,
+        paper_delay=0.0,
+    )
+
+
+def _table1_corpus_preflight(name: str, corpus: str):
+    """Pre-flight lint from the parse-once handle (no file re-parse)."""
+    from ..corpus.loader import load_corpus_circuit, preflight_report
+
+    return preflight_report(load_corpus_circuit(name))
+
+
+def _table1_corpus_prewarm(name: str, corpus: str, seed: int):
+    """Pre-warm factory for corpus rows: the first locked netlist each
+    row measures, compiled into the worker's op-tape cache at bootstrap."""
+    netlist = build_corpus_circuit(name, corpus)
+    key_width = corpus_key_size(netlist)
+    cfg = WLLConfig(
+        key_width=key_width,
+        control_width=_CORPUS_CONTROL_INPUTS,
+        n_key_gates=max(1, key_width // _CORPUS_CONTROL_INPUTS),
+    )
+    return lock_weighted(netlist, cfg, rng=seed).locked
+
+
 def _table1_prewarm(name: str, scale: float, seed: int):
     """Pre-warm factory (module-level so it pickles with the policy):
     the locked netlist a row's *first* ``lock_for_table1`` step measures,
@@ -181,53 +261,82 @@ def run_table1(
     n_keys: int = 8,
     seed: int = 0,
     policy: RunPolicy | None = None,
+    corpus: str | None = None,
 ) -> list[Table1Row]:
-    """Measure Table I rows on the scaled stand-in circuits.
+    """Measure Table I rows on stand-in or genuine corpus circuits.
 
     ``policy`` governs per-row deadlines, retries, checkpoint/resume and
     worker-process count (``policy.jobs``); rows that end in
     ``timeout``/``budget``/``error`` are dropped from the table (their
     verdicts live in the checkpoint store).
+
+    ``corpus`` switches the circuit source to a :mod:`repro.corpus`
+    family (e.g. ``iscas85-mini``): circuits load from the verified
+    store, ``scale`` is ignored, and the campaign fingerprint carries
+    the per-circuit content digests so an updated corpus file is never
+    served a stale resume row.
     """
     backend = policy.sim_backend if policy is not None else "auto"
     max_matrix_bytes = (
         policy.max_matrix_bytes if policy is not None else None
     )
-    names = list(circuits or PAPER_ORDER)
+    fingerprint: dict = {
+        "scale": scale,
+        "n_patterns": n_patterns,
+        "n_keys": n_keys,
+        "seed": seed,
+        "sim_backend": backend,
+        "max_matrix_bytes": max_matrix_bytes,
+    }
+    if corpus is not None:
+        from ..corpus.loader import corpus_digests
+
+        names = list(circuits or corpus_circuit_names(corpus))
+        fingerprint["corpus"] = corpus
+        fingerprint["corpus_digests"] = corpus_digests(names)
+        prewarm_of = lambda name: (_table1_corpus_prewarm,  # noqa: E731
+                                   (name, corpus, seed))
+    else:
+        names = list(circuits or PAPER_ORDER)
+        prewarm_of = lambda name: (_table1_prewarm,  # noqa: E731
+                                   (name, scale, seed))
     if policy is not None and policy.jobs > 1 and not policy.prewarm:
         # supervised workers compile each row's first locked netlist at
         # bootstrap (optape.compile.shared) instead of inside row budgets
         policy = replace(
-            policy,
-            prewarm=tuple(
-                (_table1_prewarm, (name, scale, seed)) for name in names
-            ),
+            policy, prewarm=tuple(prewarm_of(name) for name in names)
         )
     runner = ExperimentRunner(
         "table1",
         policy,
-        fingerprint={
-            "scale": scale,
-            "n_patterns": n_patterns,
-            "n_keys": n_keys,
-            "seed": seed,
-            "sim_backend": backend,
-            "max_matrix_bytes": max_matrix_bytes,
-        },
+        fingerprint=fingerprint,
     )
+    common_kwargs = {
+        "backend": backend,
+        "max_matrix_bytes": max_matrix_bytes,
+    }
     tasks = [
         RowTask(
             key=name,
-            compute=_table1_compute,
-            args=(name, scale, n_patterns, n_keys, seed),
-            kwargs={
-                "backend": backend,
-                "max_matrix_bytes": max_matrix_bytes,
-            },
+            compute=(
+                _table1_corpus_compute if corpus is not None
+                else _table1_compute
+            ),
+            args=(
+                (name, corpus, n_patterns, n_keys, seed)
+                if corpus is not None
+                else (name, scale, n_patterns, n_keys, seed)
+            ),
+            kwargs=dict(common_kwargs),
             encode=asdict,
             decode=lambda d: Table1Row(**d),
-            preflight=_table1_preflight,
-            preflight_args=(name, scale),
+            preflight=(
+                _table1_corpus_preflight if corpus is not None
+                else _table1_preflight
+            ),
+            preflight_args=(
+                (name, corpus) if corpus is not None else (name, scale)
+            ),
         )
         for name in names
     ]

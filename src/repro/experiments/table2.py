@@ -16,7 +16,15 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from ..atpg import run_atpg
-from ..bench import PAPER_CIRCUITS, PAPER_ORDER, build_paper_circuit, scaled_key_size
+from ..bench import (
+    PAPER_CIRCUITS,
+    PAPER_ORDER,
+    build_corpus_circuit,
+    build_paper_circuit,
+    corpus_circuit_names,
+    corpus_key_size,
+    scaled_key_size,
+)
 from ..lint import lint_netlist
 from ..locking import WLLConfig, lock_weighted
 from ..runtime.budget import Budget
@@ -45,33 +53,58 @@ def run_table2(
     n_random_patterns: int = 1024,
     seed: int = 0,
     policy: RunPolicy | None = None,
+    corpus: str | None = None,
 ) -> list[Table2Row]:
-    """Measure Table II rows on the scaled stand-in circuits.
+    """Measure Table II rows on stand-in or genuine corpus circuits.
 
     ``policy`` governs per-row deadlines, retries and checkpoint/resume.
     The per-row budget is threaded through both ATPG runs (fault-sim
     pattern charges, PODEM backtracks, SAT-arbiter conflicts).
+    ``corpus`` selects a :mod:`repro.corpus` family instead of the
+    scaled stand-ins (``scale`` is then ignored; the fingerprint pins
+    the per-circuit content digests).
     """
+    fingerprint: dict = {
+        "scale": scale,
+        "n_random_patterns": n_random_patterns,
+        "seed": seed,
+    }
+    if corpus is not None:
+        from ..corpus.loader import corpus_digests
+
+        names = list(circuits or corpus_circuit_names(corpus))
+        fingerprint["corpus"] = corpus
+        fingerprint["corpus_digests"] = corpus_digests(names)
+    else:
+        names = list(circuits or PAPER_ORDER)
     runner = ExperimentRunner(
         "table2",
         policy,
-        fingerprint={
-            "scale": scale,
-            "n_random_patterns": n_random_patterns,
-            "seed": seed,
-        },
+        fingerprint=fingerprint,
     )
     tasks = [
         RowTask(
             key=name,
-            compute=_table2_compute,
-            args=(name, scale, n_random_patterns, seed),
+            compute=(
+                _table2_corpus_compute if corpus is not None
+                else _table2_compute
+            ),
+            args=(
+                (name, corpus, n_random_patterns, seed)
+                if corpus is not None
+                else (name, scale, n_random_patterns, seed)
+            ),
             encode=asdict,
             decode=lambda d: Table2Row(**d),
-            preflight=_table2_preflight,
-            preflight_args=(name, scale),
+            preflight=(
+                _table2_corpus_preflight if corpus is not None
+                else _table2_preflight
+            ),
+            preflight_args=(
+                (name, corpus) if corpus is not None else (name, scale)
+            ),
         )
-        for name in circuits or PAPER_ORDER
+        for name in names
     ]
     outcomes = runner.run_rows(tasks)
     return [o.value for o in outcomes if o.value is not None]
@@ -127,6 +160,61 @@ def _table2_preflight(name: str, scale: float):
         build_paper_circuit(name, scale=scale),
         source=f"{name}@x{scale:g}",
     )
+
+
+#: control-gate fan-in for corpus circuits (paper default; see table1)
+_CORPUS_CONTROL_INPUTS = 3
+
+
+def _table2_corpus_compute(
+    name: str,
+    corpus: str,
+    n_random_patterns: int,
+    seed: int,
+    budget: Budget | None = None,
+) -> Table2Row:
+    """One Table II row on a genuine corpus netlist (no paper columns)."""
+    netlist = build_corpus_circuit(name, corpus)
+    key_width = corpus_key_size(netlist)
+    locked = lock_weighted(
+        netlist,
+        WLLConfig(
+            key_width=key_width,
+            control_width=_CORPUS_CONTROL_INPUTS,
+            n_key_gates=max(1, key_width // _CORPUS_CONTROL_INPUTS),
+        ),
+        rng=seed,
+    )
+    rep_orig = run_atpg(
+        netlist,
+        n_random_patterns=n_random_patterns,
+        seed=seed,
+        budget=budget,
+    )
+    rep_prot = run_atpg(
+        locked.locked,
+        n_random_patterns=n_random_patterns,
+        seed=seed,
+        budget=budget,
+    )
+    return Table2Row(
+        circuit=name,
+        fc_original=rep_orig.fault_coverage_percent,
+        red_abrt_original=rep_orig.redundant_plus_aborted,
+        fc_protected=rep_prot.fault_coverage_percent,
+        red_abrt_protected=rep_prot.redundant_plus_aborted,
+        paper_fc_original=0.0,
+        paper_red_abrt_original=0,
+        paper_fc_protected=0.0,
+        paper_red_abrt_protected=0,
+    )
+
+
+def _table2_corpus_preflight(name: str, corpus: str):
+    """Pre-flight lint from the parse-once handle (no file re-parse)."""
+    from ..corpus.loader import load_corpus_circuit, preflight_report
+
+    return preflight_report(load_corpus_circuit(name))
 
 
 def print_table2(rows: list[Table2Row]) -> str:

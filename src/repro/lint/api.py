@@ -165,26 +165,24 @@ def lint_bench_path(
 def lint_verilog_path(
     path: str | Path, config: LintConfig | None = None
 ) -> LintReport:
-    """Lint a structural Verilog file (strict parse, then netlist rules)."""
-    from ..netlist import load_verilog
+    """Lint a structural Verilog file (recovering parse, then rules).
+
+    Every scan-level parse diagnostic becomes one IO001 (the recovering
+    front end suppresses cascade errors, so a single defect yields a
+    single finding); a cleanly parsed file gets the netlist rule set.
+    """
+    from ..corpus.frontend import load_verilog_streaming
 
     p = Path(path)
     report = LintReport(subject=str(p))
-    try:
-        circuit = load_verilog(p)
-    except NetlistError as exc:
-        line_no = getattr(exc, "line_no", 0)
-        report.add(
-            Diagnostic(
-                rule_id="IO001",
-                severity=Severity.ERROR,
-                message=f"cannot parse Verilog: {exc}",
-                location=Location(source=str(p), line_no=int(line_no)),
-            )
-        )
+    result = load_verilog_streaming(p)
+    if result.errors:
+        for diag in result.errors:
+            report.add(diag.to_lint("verilog"))
         return report
+    assert result.circuit is not None
     return run_rules(
-        "netlist", _subject_of(circuit, str(p)), _cfg(config), report
+        "netlist", _subject_of(result.circuit, str(p)), _cfg(config), report
     )
 
 

@@ -16,17 +16,10 @@ and each DFF data net as a pseudo-primary output (standard full-scan view).
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
 
-from .gates import BENCH_TYPES
 from .netlist import Netlist, NetlistError
-from .sequential import FlipFlop, SequentialCircuit
-
-_LINE_RE = re.compile(
-    r"^\s*(?P<lhs>[\w.\[\]$/]+)\s*=\s*(?P<op>\w+)\s*\((?P<args>[^)]*)\)\s*$"
-)
-_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[\w.\[\]$/]+)\)\s*$")
+from .sequential import SequentialCircuit
 
 
 class NetlistFormatError(NetlistError):
@@ -65,93 +58,15 @@ def parse_bench(
     ``result.core`` is the whole circuit.  Malformed input raises
     :class:`NetlistFormatError` naming ``source`` (defaults to ``name``)
     and the offending line.
+
+    This is the strict view of the :mod:`repro.corpus.frontend` streaming
+    scanner (imported lazily — ``repro.corpus`` imports this module for
+    :class:`NetlistFormatError`): the first recovered diagnostic is
+    raised, preserving the historical message/line contract.
     """
-    src = source if source is not None else name
-    core = Netlist(name)
-    outputs: list[str] = []
-    flops: list[tuple[str, str]] = []  # (q, d)
-    defined_at: dict[str, tuple[int, str]] = {}  # net -> (line_no, line)
+    from ..corpus.frontend import parse_bench_strict
 
-    def fail(message: str, line_no: int = 0, line: str = "") -> NetlistFormatError:
-        return NetlistFormatError(message, source=src, line_no=line_no, line=line)
-
-    for line_no, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        io = _IO_RE.match(line)
-        if io:
-            if io.group("kind") == "INPUT":
-                net = io.group("name")
-                if net in defined_at:
-                    raise fail(
-                        f"net {net!r} already defined on line "
-                        f"{defined_at[net][0]}",
-                        line_no,
-                        line,
-                    )
-                core.add_input(net)
-                defined_at[net] = (line_no, line)
-            else:
-                outputs.append(io.group("name"))
-            continue
-        m = _LINE_RE.match(line)
-        if not m:
-            raise fail(f"unparseable BENCH line: {raw.strip()!r}", line_no, line)
-        lhs = m.group("lhs")
-        op = m.group("op").upper()
-        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
-        if lhs in defined_at:
-            raise fail(
-                f"net {lhs!r} already defined on line {defined_at[lhs][0]}",
-                line_no,
-                line,
-            )
-        if op == "DFF":
-            if len(args) != 1:
-                raise fail(
-                    f"DFF {lhs!r} must have exactly one input, got {len(args)}",
-                    line_no,
-                    line,
-                )
-            flops.append((lhs, args[0]))
-            core.add_input(lhs)  # Q net is a pseudo-primary input of the core
-        elif op in BENCH_TYPES:
-            try:
-                core.add_gate(lhs, BENCH_TYPES[op], args)
-            except NetlistError as exc:
-                raise fail(str(exc), line_no, line) from exc
-        else:
-            raise fail(f"unknown BENCH gate type {op!r}", line_no, line)
-        defined_at[lhs] = (line_no, line)
-
-    # report undefined fan-ins against the line that referenced them
-    for lhs, (line_no, line) in defined_at.items():
-        if not core.has_net(lhs):
-            continue
-        for fi in core.gate(lhs).fanin:
-            if not core.has_net(fi):
-                raise fail(
-                    f"gate {lhs!r} uses undefined net {fi!r}", line_no, line
-                )
-    for o in outputs:
-        if not core.has_net(o):
-            raise fail(f"OUTPUT({o}) names an undefined net")
-    for q, d in flops:
-        if not core.has_net(d):
-            raise fail(f"DFF {q!r} uses undefined net {d!r}")
-
-    core.set_outputs(outputs + [d for _, d in flops])
-    circuit = SequentialCircuit(core, name=name)
-    for i, (q, d) in enumerate(flops):
-        circuit.add_flop(FlipFlop(f"ff_{q}", d=d, q=q))
-    # true primary outputs were listed first; pseudo-outputs appended
-    circuit.core.set_outputs(outputs + [d for _, d in flops])
-    try:
-        circuit.validate()
-    except NetlistError as exc:
-        raise fail(str(exc)) from exc
-    return circuit
+    return parse_bench_strict(text, name=name, source=source)
 
 
 def parse_bench_combinational(
@@ -168,9 +83,10 @@ def parse_bench_combinational(
 
 
 def load_bench(path: str | Path) -> SequentialCircuit:
-    """Parse a BENCH file from disk (errors carry the file path)."""
-    p = Path(path)
-    return parse_bench(p.read_text(), name=p.stem, source=str(p))
+    """Parse a BENCH file from disk, streamed (errors carry the path)."""
+    from ..corpus.frontend import load_bench_streaming
+
+    return load_bench_streaming(path).raise_first()
 
 
 def write_bench(circuit: SequentialCircuit | Netlist) -> str:

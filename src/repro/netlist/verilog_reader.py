@@ -10,18 +10,24 @@ for round-tripping locked designs through the Verilog handoff format.
 Malformed input raises :class:`~repro.netlist.bench_io.NetlistFormatError`
 with file/line context — the same error contract as the BENCH reader, so
 callers (and ``repro lint``) report both formats uniformly.
+
+Parsing is delegated to the unified streaming front end in
+:mod:`repro.corpus.frontend` (imported lazily: ``repro.corpus`` imports
+:mod:`repro.netlist` at top level); this module keeps the historical
+strict API.  The front end additionally handles ``//`` and ``/* */``
+comments, CRLF and line continuations, and offers a recovering mode
+that collects every diagnostic instead of stopping at the first.
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
 
-from .bench_io import NetlistFormatError
 from .gates import GateType
-from .netlist import Netlist, NetlistError
-from .sequential import FlipFlop, SequentialCircuit
+from .sequential import SequentialCircuit
 
+#: primitive instantiation name -> gate type (re-exported for callers
+#: that introspect the accepted subset)
 _PRIMITIVES = {
     "and": GateType.AND,
     "nand": GateType.NAND,
@@ -33,27 +39,6 @@ _PRIMITIVES = {
     "buf": GateType.BUF,
 }
 
-_MODULE_RE = re.compile(r"module\s+(\S+)\s*\((.*?)\)\s*;", re.S)
-_DECL_RE = re.compile(r"^(input|output|wire|reg)\s+(.+)$")
-_INST_RE = re.compile(r"^(\w+)\s+\w+\s*\((.*)\)$")
-_ASSIGN_CONST_RE = re.compile(r"^assign\s+(\S+)\s*=\s*1'b([01])$")
-_ASSIGN_MUX_RE = re.compile(
-    r"^assign\s+(\S+)\s*=\s*(\S+)\s*\?\s*(\S+)\s*:\s*(\S+)$"
-)
-_ASSIGN_WIRE_RE = re.compile(r"^assign\s+(\S+)\s*=\s*([^?;]+)$")
-_FF_RE = re.compile(
-    r"^(\S+)_state\s*<=\s*scan_enable\s*\?\s*(\S+)\s*:\s*(\S+)$"
-)
-
-_ALWAYS_HEADER = "always @(posedge clk)"
-
-
-def _unescape(token: str) -> str:
-    token = token.strip()
-    if token.startswith("\\"):
-        return token[1:].strip()
-    return token
-
 
 def parse_verilog(
     text: str, name: str | None = None, source: str | None = None
@@ -64,146 +49,16 @@ def parse_verilog(
     input raises :class:`NetlistFormatError` naming ``source`` (defaults
     to the module name) and the offending line.
     """
-    src = source if source is not None else (name or "<verilog>")
+    from ..corpus.frontend import parse_verilog_strict
 
-    def fail(
-        message: str, line_no: int = 0, line: str = ""
-    ) -> NetlistFormatError:
-        return NetlistFormatError(message, source=src, line_no=line_no, line=line)
-
-    m = _MODULE_RE.search(text)
-    if not m:
-        raise fail("no module found")
-    mod_name = name or _unescape(m.group(1))
-    body_start = m.end()
-    end = text.find("endmodule", body_start)
-    if end < 0:
-        raise fail("missing endmodule")
-    body = text[body_start:end]
-
-    core = Netlist(mod_name)
-    outputs: list[str] = []
-    scan_ports = {"clk", "scan_enable", "scan_in", "scan_out"}
-    ff_updates: dict[str, tuple[str, str]] = {}  # state reg -> (prev, d)
-    ff_q_assign: dict[str, tuple[str, int]] = {}  # q net -> (state reg, line)
-
-    # strip the always headers with same-length padding so every statement
-    # offset (and therefore every reported line number) stays exact
-    cleaned = body.replace(_ALWAYS_HEADER, ";" + " " * (len(_ALWAYS_HEADER) - 1))
-
-    # split on ';' keeping each statement's offset into the body
-    statements: list[tuple[int, str]] = []
-    pos = 0
-    for chunk in cleaned.split(";"):
-        stripped = chunk.strip()
-        if stripped:
-            statements.append((pos + chunk.index(stripped[0]), stripped))
-        pos += len(chunk) + 1
-
-    def line_of(offset: int) -> int:
-        return text.count("\n", 0, body_start + offset) + 1
-
-    pending_assigns: list[tuple[str, str, int, str]] = []
-
-    for offset, stmt in statements:
-        stmt = " ".join(stmt.split())
-        line_no = line_of(offset)
-
-        def define(net: str, gtype: GateType, fanin: tuple[str, ...]) -> None:
-            try:
-                core.add_gate(net, gtype, fanin)
-            except NetlistError as exc:
-                raise fail(str(exc), line_no, stmt) from exc
-
-        decl = _DECL_RE.match(stmt)
-        if decl:
-            kind, names = decl.groups()
-            for tok in names.split(","):
-                net = _unescape(tok)
-                if not net or net in scan_ports:
-                    continue
-                if kind == "input":
-                    try:
-                        core.add_input(net)
-                    except NetlistError as exc:
-                        raise fail(str(exc), line_no, stmt) from exc
-                elif kind == "output":
-                    outputs.append(net)
-            continue
-        cm = _ASSIGN_CONST_RE.match(stmt)
-        if cm:
-            net, bit = _unescape(cm.group(1)), cm.group(2)
-            if net not in scan_ports:
-                define(
-                    net, GateType.CONST1 if bit == "1" else GateType.CONST0, ()
-                )
-            continue
-        mm = _ASSIGN_MUX_RE.match(stmt)
-        if mm:
-            y, s, d1, d0 = (_unescape(t) for t in mm.groups())
-            define(y, GateType.MUX, (s, d0, d1))
-            continue
-        fm = _FF_RE.match(stmt)
-        if fm:
-            reg, prev, d = (_unescape(t) for t in fm.groups())
-            ff_updates[reg] = (prev, d)
-            continue
-        wm = _ASSIGN_WIRE_RE.match(stmt)
-        if wm:
-            y, rhs = _unescape(wm.group(1)), _unescape(wm.group(2))
-            if y in scan_ports:
-                continue
-            if rhs.endswith("_state"):
-                ff_q_assign[y] = (rhs[: -len("_state")], line_no)
-            else:
-                pending_assigns.append((y, rhs, line_no, stmt))
-            continue
-        im = _INST_RE.match(stmt)
-        if im:
-            prim, args = im.groups()
-            if prim in _PRIMITIVES:
-                nets = [_unescape(a) for a in args.split(",")]
-                out, fins = nets[0], nets[1:]
-                define(out, _PRIMITIVES[prim], tuple(fins))
-                continue
-        # `reg x_state` declarations and anything scan-infrastructure
-        if stmt.startswith("reg ") or any(p in stmt for p in scan_ports):
-            continue
-        raise fail(f"unsupported Verilog statement: {stmt!r}", line_no, stmt)
-
-    for y, rhs, line_no, stmt in pending_assigns:
-        try:
-            core.add_gate(y, GateType.BUF, (rhs,))
-        except NetlistError as exc:
-            raise fail(str(exc), line_no, stmt) from exc
-
-    flops: list[FlipFlop] = []
-    for q, (reg, line_no) in ff_q_assign.items():
-        if reg not in ff_updates:
-            raise fail(f"flop state {reg!r} has no always block", line_no)
-        _, d = ff_updates[reg]
-        try:
-            core.add_input(q)
-        except NetlistError as exc:
-            raise fail(str(exc), line_no) from exc
-        flops.append(FlipFlop(reg, d=d, q=q))
-    core.set_outputs(outputs + [ff.d for ff in flops if ff.d not in outputs])
-    circuit = SequentialCircuit(core, name=mod_name)
-    for ff in flops:
-        circuit.add_flop(ff)
-    if flops:
-        circuit.build_scan_chains(1)
-    try:
-        circuit.validate()
-    except NetlistError as exc:
-        raise fail(str(exc)) from exc
-    return circuit
+    return parse_verilog_strict(text, name=name, source=source)
 
 
 def load_verilog(path: str | Path) -> SequentialCircuit:
-    """Parse structural Verilog from a file.
+    """Parse structural Verilog from a file, streamed.
 
     Errors are :class:`NetlistFormatError` naming the file path and line.
     """
-    p = Path(path)
-    return parse_verilog(p.read_text(), name=p.stem, source=str(p))
+    from ..corpus.frontend import load_verilog_streaming
+
+    return load_verilog_streaming(path).raise_first()

@@ -151,6 +151,7 @@ def _run_table1(params: dict[str, Any], policy: Any) -> list[Any]:
         n_keys=params["n_keys"],
         seed=params["seed"],
         policy=policy,
+        corpus=params["corpus"],
     )
 
 
@@ -175,6 +176,7 @@ def _run_table2(params: dict[str, Any], policy: Any) -> list[Any]:
         n_random_patterns=params["n_random_patterns"],
         seed=params["seed"],
         policy=policy,
+        corpus=params["corpus"],
     )
 
 
@@ -199,6 +201,8 @@ def _run_attacks(params: dict[str, Any], policy: Any) -> list[Any]:
         max_iterations=params["max_iterations"],
         attack_deadline_s=params["attack_deadline_s"],
         policy=policy,
+        corpus=params["corpus"],
+        circuit=params["circuit"],
     )
 
 
@@ -252,7 +256,16 @@ def _render_sleep(rows: list[Any]) -> str:
 def _table_rows_total(params: dict[str, Any]) -> int | None:
     from ..bench import PAPER_ORDER
 
-    return len(params["circuits"]) if params["circuits"] else len(PAPER_ORDER)
+    if params["circuits"]:
+        return len(params["circuits"])
+    if params.get("corpus"):
+        from ..corpus import entries_for
+
+        try:
+            return len(entries_for([params["corpus"]], offline=False))
+        except KeyError:
+            return None
+    return len(PAPER_ORDER)
 
 
 def _captured(printer: Callable[[list[Any]], str], rows: list[Any]) -> str:
@@ -285,6 +298,7 @@ CAMPAIGNS: dict[str, CampaignDef] = {
             ("n_patterns", _I, 4096),
             ("n_keys", _I, 8),
             ("seed", _I, 0),
+            ("corpus", _S, None),
         ),
         description="Table I: HD + area/delay overhead per circuit",
     ),
@@ -301,6 +315,7 @@ CAMPAIGNS: dict[str, CampaignDef] = {
             ("circuits", _LIST, None),
             ("n_random_patterns", _I, 1024),
             ("seed", _I, 0),
+            ("corpus", _S, None),
         ),
         description="Table II: stuck-at testability per circuit",
     ),
@@ -317,6 +332,8 @@ CAMPAIGNS: dict[str, CampaignDef] = {
             ("seed", _I, 7),
             ("max_iterations", _I, 128),
             ("attack_deadline_s", _F, None),
+            ("corpus", _S, None),
+            ("circuit", _S, None),
         ),
         description="Sect. II-A attack matrix (every attack x both chips)",
     ),

@@ -77,6 +77,11 @@ KNOWN_COUNTERS = frozenset(
         "cache.degraded",
         "telemetry.degraded",
         "checkpoint.corrupt",
+        # real-corpus ingestion (repro.corpus): parse-once memo and
+        # store corruption healing
+        "corpus.parse",
+        "corpus.parse.cached",
+        "corpus.store.heal",
         # campaign job service (repro.service): queue state transitions
         "job.submitted",
         "job.dedup",

@@ -1,0 +1,8 @@
+// an unparseable statement inside an otherwise good module
+module bad (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  frobnicate q9 (n1, a, b);
+  not g2 (y, n1);
+endmodule

@@ -1,0 +1,3 @@
+// a Verilog file with no module declaration at all
+wire n1;
+nand g1 (n1, a, b);

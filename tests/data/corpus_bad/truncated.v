@@ -1,0 +1,7 @@
+// file ends before endmodule
+module trunc (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  nand g1 (n1, a, b);
+  not g2 (y, n1);
